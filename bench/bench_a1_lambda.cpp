@@ -1,0 +1,123 @@
+// Experiment E5 (Figure 4, Theorem 5.2, Section 5.3): the Lambda separation.
+//
+//   * Lambda(A1) = 1 in RS for t = 1 (every failure-free run decides at
+//     round 1), and every run of A1 lasts at most two rounds.
+//   * A1 violates uniform agreement in RWS (the pending-broadcast run).
+//   * Every RWS algorithm in the registry has Lambda >= 2 — the separation
+//     the companion paper [7] proves for all RWS algorithms with n >= 3.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "consensus/registry.hpp"
+#include "latency/latency.hpp"
+#include "mc/checker.hpp"
+#include "rounds/spec.hpp"
+
+namespace ssvsp {
+namespace {
+
+void lambdaTable() {
+  bench::printHeader(
+      "E5 / Figure 4, Theorem 5.2 — Lambda(A1) = 1 vs Lambda >= 2 in RWS",
+      "RS reaches uniform consensus one round sooner than RWS in "
+      "failure-free runs (t = 1, n >= 3)");
+
+  const int n = 3, t = 1;
+  Table table(
+      {"algorithm", "model", "correct?", "Lambda(A)", "claim", "verdict"});
+
+  struct Row {
+    const char* algo;
+    RoundModel model;
+    const char* claim;
+    bool expectCorrect;
+    Round expectedLambda;  // kNoRound = only require >= 2
+  };
+  const Row rows[] = {
+      {"A1", RoundModel::kRs, "Lambda = 1", true, 1},
+      {"FloodSetWS", RoundModel::kRws, "Lambda >= 2", true, kNoRound},
+      {"C_OptFloodSetWS", RoundModel::kRws, "Lambda >= 2", true, kNoRound},
+      {"F_OptFloodSetWS", RoundModel::kRws, "Lambda >= 2", true, kNoRound},
+  };
+  for (const Row& row : rows) {
+    // Correctness by exhaustive check.
+    McCheckOptions mo;
+    mo.enumeration.horizon = 3;
+    mo.enumeration.maxCrashes = t;
+    if (row.model == RoundModel::kRws) mo.enumeration.pendingLags = {1, 0};
+    const auto mc = modelCheckConsensus(algorithmByName(row.algo).factory,
+                                        RoundConfig{n, t}, row.model, mo);
+
+    // Lambda via the latency analyzer.
+    LatencyOptions lo;
+    lo.enumeration = mo.enumeration;
+    const auto p = measureLatency(algorithmByName(row.algo).factory,
+                                  RoundConfig{n, t}, row.model, lo);
+
+    const bool lambdaOk = row.expectedLambda == kNoRound
+                              ? p.lambda >= 2
+                              : p.lambda == row.expectedLambda;
+    table.addRowValues(row.algo, toString(row.model),
+                       bench::checkMark(mc.ok()), bench::fmtRound(p.lambda),
+                       row.claim,
+                       bench::verdict(mc.ok() == row.expectCorrect &&
+                                      lambdaOk));
+  }
+  table.print(std::cout);
+
+  // The RWS counterexamples for A1 and its halt-set repair.
+  Table cex({"candidate", "model", "violations found", "claim", "verdict"});
+  for (const char* algo : {"A1", "A1WS_candidate"}) {
+    McCheckOptions mo;
+    mo.enumeration.horizon = 3;
+    mo.enumeration.maxCrashes = 1;
+    mo.enumeration.pendingLags = {1, 0};
+    const auto mc = modelCheckConsensus(algorithmByName(algo).factory,
+                                        RoundConfig{3, 1}, RoundModel::kRws,
+                                        mo);
+    cex.addRowValues(algo, "RWS", mc.violations.empty() ? "none" : "yes",
+                     "uniform agreement violated",
+                     bench::verdict(!mc.violations.empty()));
+  }
+  std::cout << "\n";
+  cex.setTitle("A1 cannot be ported to RWS (Section 5.3)");
+  cex.print(std::cout);
+
+  // Show the paper's exact scenario.
+  FailureScript script;
+  script.crashes.push_back({0, 2, ProcessSet{}});
+  script.pendings.push_back({0, 1, 1, kNoRound});
+  script.pendings.push_back({0, 2, 1, kNoRound});
+  RoundEngineOptions opt;
+  opt.horizon = 3;
+  const auto run = runRounds(RoundConfig{3, 1}, RoundModel::kRws,
+                             algorithmByName("A1").factory, {3, 8, 9}, script,
+                             opt);
+  std::cout << "\nThe paper's scenario — p1 decides v1 on its own pending "
+               "broadcast and crashes:\n"
+            << run.toString();
+}
+
+void timeA1Run(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  RoundConfig cfg{n, 1};
+  RoundEngineOptions opt;
+  opt.horizon = 3;
+  std::vector<Value> initial(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) initial[static_cast<std::size_t>(i)] = i;
+  for (auto _ : state) {
+    auto run = runRounds(cfg, RoundModel::kRs, algorithmByName("A1").factory,
+                         initial, {}, opt);
+    benchmark::DoNotOptimize(run.decision);
+  }
+}
+BENCHMARK(timeA1Run)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace ssvsp
+
+int main(int argc, char** argv) {
+  ssvsp::lambdaTable();
+  return ssvsp::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,137 @@
+// Experiment E11 (extension): the RS/RWS gap replayed on uniform reliable
+// broadcast and one-shot atomic broadcast.
+//
+//   * URB delivery latency: 2 rounds after the origin's broadcast in RS,
+//     3 in RWS — the certification round that weak round synchrony demands
+//     is the same one-round price the paper proves for uniform consensus.
+//   * The RS delivery rule run in RWS breaks uniform agreement (ablation),
+//     like FloodSet and A1 before it.
+//   * One-shot atomic broadcast needs the halt set in RWS for uniform
+//     total order.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "broadcast/atomic.hpp"
+#include "broadcast/spec.hpp"
+#include "mc/enumerator.hpp"
+#include "rounds/adversary.hpp"
+
+namespace ssvsp {
+namespace {
+
+RoundRunResult runBroadcast(const RoundAutomatonFactory& factory,
+                            RoundModel model, int n, int t,
+                            std::vector<Value> initial,
+                            const FailureScript& script, int horizon) {
+  RoundEngineOptions opt;
+  opt.horizon = horizon;
+  opt.stopWhenAllDecided = false;
+  RoundConfig cfg{n, t};
+  return runRounds(cfg, model, factory, std::move(initial), script, opt);
+}
+
+void latencyTable() {
+  bench::printHeader(
+      "E11a (extension) — URB delivery latency: RS vs RWS",
+      "delivering a peer's message costs 2 rounds in RS and 3 in RWS "
+      "(the certification round weak round synchrony demands)");
+
+  Table table({"model", "rule", "own msg", "peer msg", "claim", "verdict"});
+  {
+    const auto run = runBroadcast(makeUrbRs(), RoundModel::kRs, 4, 1,
+                                  {1, 2, 3, 4}, noFailures(), 6);
+    const auto logs = deliveryLogs(run);
+    Round own = 0, peer = 0;
+    for (const Delivery& d : logs[0])
+      (d.origin == 0 ? own : peer) = std::max(d.origin == 0 ? own : peer,
+                                              d.round);
+    table.addRowValues("RS", "deliver at relay round", own, peer, "1 / 2",
+                       bench::verdict(own == 1 && peer == 2));
+  }
+  {
+    const auto run = runBroadcast(makeUrbRws(), RoundModel::kRws, 4, 1,
+                                  {1, 2, 3, 4}, noFailures(), 6);
+    const auto logs = deliveryLogs(run);
+    Round own = 0, peer = 0;
+    for (const Delivery& d : logs[0])
+      (d.origin == 0 ? own : peer) = std::max(d.origin == 0 ? own : peer,
+                                              d.round);
+    table.addRowValues("RWS", "deliver one round later", own, peer, "2 / 3",
+                       bench::verdict(own == 2 && peer == 3));
+  }
+  table.print(std::cout);
+}
+
+void correctnessTable() {
+  std::cout << "\n";
+  Table table({"protocol", "model", "runs", "violations", "claim", "verdict"});
+
+  struct Row {
+    const char* name;
+    RoundAutomatonFactory factory;
+    RoundModel model;
+    bool atomic;
+    bool expectViolations;
+    int maxCrashes;
+  };
+  const Row rows[] = {
+      {"URB (RS rule)", makeUrbRs(), RoundModel::kRs, false, false, 2},
+      {"URB (RWS rule)", makeUrbRws(), RoundModel::kRws, false, false, 1},
+      {"URB (RS rule in RWS)", makeUrbRsRuleInRws(), RoundModel::kRws, false,
+       true, 2},
+      {"Atomic (RS)", makeAtomicBroadcastRs(), RoundModel::kRs, true, false,
+       2},
+      {"Atomic (WS in RWS)", makeAtomicBroadcastRws(), RoundModel::kRws, true,
+       false, 1},
+      {"Atomic (RS rule in RWS)", makeAtomicBroadcastRs(), RoundModel::kRws,
+       true, true, 2},
+  };
+  for (const Row& row : rows) {
+    EnumOptions e;
+    e.horizon = 4;
+    e.maxCrashes = row.maxCrashes;
+    if (row.model == RoundModel::kRws) e.pendingLags = {1, 0};
+    std::int64_t runs = 0, violations = 0;
+    forEachScript(RoundConfig{3, row.maxCrashes}, row.model, e,
+                  [&](const FailureScript& script) {
+                    const auto run =
+                        runBroadcast(row.factory, row.model, 3,
+                                     row.maxCrashes, {3, 1, 2}, script, 8);
+                    ++runs;
+                    const auto v = row.atomic ? checkAtomicBroadcast(run)
+                                              : checkUrb(run);
+                    if (!v.ok()) ++violations;
+                    return true;
+                  });
+    table.addRowValues(row.name, toString(row.model), runs, violations,
+                       row.expectViolations ? "violations > 0"
+                                            : "violations = 0",
+                       bench::verdict(row.expectViolations
+                                          ? violations > 0
+                                          : violations == 0));
+  }
+  table.setTitle("E11b — exhaustive correctness + halt-set/early-delivery ablations");
+  table.print(std::cout);
+}
+
+void timeUrbRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Value> initial(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) initial[static_cast<std::size_t>(i)] = i;
+  for (auto _ : state) {
+    auto run = runBroadcast(makeUrbRs(), RoundModel::kRs, n, 1, initial, {},
+                            5);
+    benchmark::DoNotOptimize(run.roundsExecuted);
+  }
+}
+BENCHMARK(timeUrbRun)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace ssvsp
+
+int main(int argc, char** argv) {
+  ssvsp::latencyTable();
+  ssvsp::correctnessTable();
+  return ssvsp::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,48 @@
+// Shared helpers for the experiment binaries.
+//
+// Every binary regenerates one artifact of the paper (see DESIGN.md's
+// per-experiment index): it prints an aligned table with the paper's claim
+// next to the measured value, then runs its google-benchmark timings (pass
+// --benchmark_filter=none to skip them).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+#include "util/types.hpp"
+
+namespace ssvsp::bench {
+
+inline std::string fmtRound(Round r) {
+  return r == kNoRound ? "inf" : std::to_string(r);
+}
+
+inline std::string checkMark(bool ok) { return ok ? "yes" : "NO"; }
+
+/// "claim == measured" annotation for the verdict column.
+inline std::string verdict(bool matches) {
+  return matches ? "reproduced" : "MISMATCH";
+}
+
+inline void printHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::cout << "\n=================================================="
+               "==============================\n"
+            << experiment << "\n"
+            << "Paper claim: " << claim << "\n"
+            << "=================================================="
+               "==============================\n";
+}
+
+inline int runBenchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ssvsp::bench

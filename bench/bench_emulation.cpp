@@ -1,0 +1,190 @@
+// Experiments E9 + E10 (Section 4): the cost and correctness of the two
+// round-model emulations.
+//
+//   E9 — RS on SS: steps per emulated round, n + k(n, Phi, Delta, r).  For
+//   Phi = 1 the padding is constant; for Phi >= 2 it grows geometrically
+//   with the round number (relative process speed compounds).  End-to-end
+//   runs on the step simulator confirm the emulated FloodSet still solves
+//   uniform consensus.
+//
+//   E10 — RWS on SP (Lemma 4.1): the receive-until-suspect emulation
+//   guarantees weak round synchrony on every run; the table sweeps
+//   adversarial suspicion delays and reports measured SP steps per round.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "consensus/registry.hpp"
+#include "emul/rs_from_ss.hpp"
+#include "emul/rws_from_sp.hpp"
+#include "fd/failure_detectors.hpp"
+#include "sync/ss_scheduler.hpp"
+#include "util/stats.hpp"
+
+namespace ssvsp {
+namespace {
+
+void costTable() {
+  bench::printHeader(
+      "E9 / Section 4.1 — RS-from-SS emulation cost",
+      "each round costs n + k steps with k a function of (n, Phi, Delta, r)");
+
+  Table table({"n", "Phi", "Delta", "k(r=1)", "k(r=2)", "k(r=4)", "k(r=8)",
+               "shape"});
+  for (int n : {2, 4, 8, 16, 32}) {
+    for (int phi : {1, 2}) {
+      for (int delta : {1, 4}) {
+        auto k = [&](Round r) {
+          return rsEmulationRoundSteps(n, phi, delta, r) - n;
+        };
+        table.addRowValues(n, phi, delta, k(1), k(2), k(4), k(8),
+                           phi == 1 ? "constant" : "geometric");
+      }
+    }
+  }
+  table.print(std::cout);
+}
+
+void rsEndToEnd() {
+  std::cout << "\n";
+  Table table({"n", "Phi", "Delta", "runs", "UC violations",
+               "global steps/run", "verdict"});
+  for (auto [n, phi, delta] :
+       {std::tuple<int, int, int>{3, 1, 2}, {4, 1, 3}, {3, 2, 1}}) {
+    const int t = 1;
+    int violations = 0;
+    Stats steps;
+    for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+      Rng rng(seed * 131 + static_cast<std::uint64_t>(n));
+      std::vector<Value> initial(static_cast<std::size_t>(n));
+      for (auto& v : initial) v = static_cast<Value>(rng.uniformInt(0, 5));
+      FailurePattern pattern(n);
+      if (rng.bernoulli(0.4))
+        pattern.setCrash(static_cast<ProcessId>(rng.uniformInt(0, n - 1)),
+                         rng.uniformInt(1, 200));
+      ExecutorConfig cfg;
+      cfg.n = n;
+      cfg.maxSteps = 200000;
+      SsScheduler sched(n, phi, rng.fork());
+      SsDelivery delivery(rng.fork(), delta);
+      Executor ex(cfg,
+                  emulateRsOnSs(algorithmByName("FloodSet").factory,
+                                RoundConfig{n, t}, initial, phi, delta, t + 1),
+                  pattern, sched, delivery);
+      const auto trace =
+          ex.run([](const Executor& e) { return e.allCorrectDecided(); });
+      steps.add(static_cast<double>(trace.numSteps()));
+      std::optional<Value> agreed;
+      for (ProcessId p = 0; p < n; ++p) {
+        const auto d = ex.output(p);
+        if (!d.has_value()) continue;
+        if (!agreed.has_value()) agreed = d;
+        if (*agreed != *d) ++violations;
+      }
+      for (ProcessId p : ex.pattern().correct())
+        if (!ex.output(p).has_value()) ++violations;
+    }
+    table.addRowValues(n, phi, delta, steps.count(), violations,
+                       static_cast<std::int64_t>(steps.mean()),
+                       bench::verdict(violations == 0));
+  }
+  table.setTitle("E9 end-to-end: emulated FloodSet on the SS step simulator");
+  table.print(std::cout);
+}
+
+void rwsTable() {
+  bench::printHeader(
+      "E10 / Lemma 4.1 — RWS-from-SP emulation",
+      "weak round synchrony holds on every emulated run, for every "
+      "(finite) suspicion delay");
+
+  Table table({"n", "suspicion delay", "runs", "weak-sync violations",
+               "UC violations", "SP steps/run", "verdict"});
+  for (int n : {3, 4, 5}) {
+    for (Time maxDelay : {Time{0}, Time{50}, Time{400}}) {
+      int weakSyncViolations = 0, ucViolations = 0;
+      Stats steps;
+      for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+        Rng rng(seed * 313 + static_cast<std::uint64_t>(n + maxDelay));
+        std::vector<Value> initial(static_cast<std::size_t>(n));
+        for (auto& v : initial) v = static_cast<Value>(rng.uniformInt(0, 3));
+        FailurePattern pattern(n);
+        if (rng.bernoulli(0.7))
+          pattern.setCrash(static_cast<ProcessId>(rng.uniformInt(0, n - 1)),
+                           rng.uniformInt(1, 300));
+        PerfectFailureDetector fd(pattern, 0);
+        if (maxDelay > 0) {
+          Rng delayRng = rng.fork();
+          fd.randomizeDelays(delayRng, 0, maxDelay);
+        }
+        std::vector<RwsEmulator*> emus;
+        auto base = emulateRwsOnSp(algorithmByName("FloodSetWS").factory,
+                                   RoundConfig{n, 1}, initial, 2);
+        ExecutorConfig cfg;
+        cfg.n = n;
+        cfg.maxSteps = 100000;
+        RandomScheduler sched(n, rng.fork());
+        RandomBoundedDelivery delivery(rng.fork(), 5);
+        Executor ex(
+            cfg,
+            [&base, &emus](ProcessId p) {
+              auto a = base(p);
+              emus.push_back(static_cast<RwsEmulator*>(a.get()));
+              return a;
+            },
+            pattern, sched, delivery, &fd);
+        const auto trace =
+            ex.run([](const Executor& e) { return e.allCorrectDecided(); });
+        steps.add(static_cast<double>(trace.numSteps()));
+        if (!checkWeakRoundSynchrony({emus.begin(), emus.end()}, pattern).ok)
+          ++weakSyncViolations;
+        std::optional<Value> agreed;
+        for (ProcessId p = 0; p < n; ++p) {
+          const auto d = ex.output(p);
+          if (!d.has_value()) continue;
+          if (!agreed.has_value()) agreed = d;
+          if (*agreed != *d) ++ucViolations;
+        }
+      }
+      table.addRowValues(n, maxDelay, steps.count(), weakSyncViolations,
+                         ucViolations,
+                         static_cast<std::int64_t>(steps.mean()),
+                         bench::verdict(weakSyncViolations == 0 &&
+                                        ucViolations == 0));
+    }
+  }
+  table.print(std::cout);
+}
+
+void timeRsEmulatedRound(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int phi = 1, delta = 2, t = 1;
+  std::vector<Value> initial(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) initial[static_cast<std::size_t>(i)] = i;
+  for (auto _ : state) {
+    Rng rng(9);
+    ExecutorConfig cfg;
+    cfg.n = n;
+    cfg.maxSteps = 100000;
+    SsScheduler sched(n, phi, rng.fork());
+    SsDelivery delivery(rng.fork(), delta);
+    Executor ex(cfg,
+                emulateRsOnSs(algorithmByName("FloodSet").factory,
+                              RoundConfig{n, t}, initial, phi, delta, t + 1),
+                FailurePattern(n), sched, delivery);
+    auto trace =
+        ex.run([](const Executor& e) { return e.allCorrectDecided(); });
+    benchmark::DoNotOptimize(trace.numSteps());
+  }
+}
+BENCHMARK(timeRsEmulatedRound)->Arg(3)->Arg(6)->Arg(12);
+
+}  // namespace
+}  // namespace ssvsp
+
+int main(int argc, char** argv) {
+  ssvsp::costTable();
+  ssvsp::rsEndToEnd();
+  ssvsp::rwsTable();
+  return ssvsp::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,108 @@
+// Experiment E1 (paper Figure 1): FloodSet solves uniform consensus in RS,
+// deciding at round t+1.
+//
+// Regenerates: for each (n, t), an exhaustive (small) or sampled (large)
+// sweep of RS adversaries; reports violations (must be 0) and the worst and
+// best latency (must both be t+1 — FloodSet never decides early).
+// Also times a single FloodSet run as a function of n (google-benchmark).
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "consensus/registry.hpp"
+#include "mc/checker.hpp"
+#include "rounds/adversary.hpp"
+#include "rounds/spec.hpp"
+#include "util/rng.hpp"
+
+namespace ssvsp {
+namespace {
+
+void sweepTable() {
+  bench::printHeader(
+      "E1 / Figure 1 — FloodSet in RS",
+      "solves uniform consensus; every process decides at round t+1");
+
+  Table table({"n", "t", "mode", "runs", "violations", "worst |r|", "best |r|",
+               "claim t+1", "verdict"});
+
+  // Exhaustive sweeps for small systems.
+  for (auto [n, t] : {std::pair<int, int>{3, 1}, {3, 2}, {4, 1}, {4, 2}}) {
+    McCheckOptions o;
+    o.enumeration.horizon = t + 2;
+    o.enumeration.maxCrashes = t;
+    RoundConfig cfg{n, t};
+    const auto r = modelCheckConsensus(algorithmByName("FloodSet").factory,
+                                       cfg, RoundModel::kRs, o);
+    Round worst = 0, best = kNoRound;
+    for (const auto& [f, w] : r.worstLatencyByCrashes)
+      worst = (w == kNoRound || worst == kNoRound) ? kNoRound
+                                                   : std::max(worst, w);
+    for (const auto& [f, b] : r.bestLatencyByCrashes)
+      best = std::min(best, b);
+    table.addRowValues(n, t, "exhaustive", r.runsExecuted,
+                       r.violations.size(), bench::fmtRound(worst),
+                       bench::fmtRound(best), t + 1,
+                       bench::verdict(r.ok() && worst == t + 1 &&
+                                      best == t + 1));
+  }
+
+  // Sampled sweeps for larger systems.
+  for (auto [n, t] : {std::pair<int, int>{8, 3}, {16, 5}, {32, 7}}) {
+    RoundConfig cfg{n, t};
+    Rng rng(420 + static_cast<std::uint64_t>(n));
+    ScriptSampler sampler(cfg, RoundModel::kRs, t + 1);
+    RoundEngineOptions opt;
+    opt.horizon = t + 2;
+    std::int64_t violations = 0, runs = 0;
+    Round worst = 0, best = kNoRound;
+    for (int i = 0; i < 400; ++i) {
+      std::vector<Value> initial(static_cast<std::size_t>(n));
+      for (auto& v : initial) v = static_cast<Value>(rng.uniformInt(0, 7));
+      const auto run =
+          runRounds(cfg, RoundModel::kRs, algorithmByName("FloodSet").factory,
+                    initial, sampler.sample(rng), opt);
+      ++runs;
+      if (!checkUniformConsensus(run).ok()) ++violations;
+      const Round lr = run.latency();
+      worst = (lr == kNoRound || worst == kNoRound) ? kNoRound
+                                                    : std::max(worst, lr);
+      best = std::min(best, lr);
+    }
+    table.addRowValues(n, t, "sampled", runs, violations,
+                       bench::fmtRound(worst), bench::fmtRound(best), t + 1,
+                       bench::verdict(violations == 0 && worst == t + 1));
+  }
+
+  table.print(std::cout);
+}
+
+void timeFloodSetRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = n / 2;
+  RoundConfig cfg{n, t};
+  Rng rng(7);
+  ScriptSampler sampler(cfg, RoundModel::kRs, t + 1);
+  RoundEngineOptions opt;
+  opt.horizon = t + 2;
+  std::vector<Value> initial(static_cast<std::size_t>(n));
+  for (auto& v : initial) v = static_cast<Value>(rng.uniformInt(0, 7));
+  const auto script = sampler.sample(rng);
+  for (auto _ : state) {
+    auto run = runRounds(cfg, RoundModel::kRs,
+                         algorithmByName("FloodSet").factory, initial, script,
+                         opt);
+    benchmark::DoNotOptimize(run.decision);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(timeFloodSetRun)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Complexity();
+
+}  // namespace
+}  // namespace ssvsp
+
+int main(int argc, char** argv) {
+  ssvsp::sweepTable();
+  return ssvsp::bench::runBenchmarks(argc, argv);
+}

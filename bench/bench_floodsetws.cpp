@@ -1,0 +1,101 @@
+// Experiment E2 (paper Figure 2): FloodSetWS solves uniform consensus in
+// RWS, while plain FloodSet (no halt set) disagrees — the ablation that
+// justifies the halt set.
+//
+// Regenerates: exhaustive RWS sweeps counting agreement violations for both
+// algorithms, including the full (n=3, t=2) pending space, plus the first
+// violating witness for FloodSet.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "consensus/registry.hpp"
+#include "mc/checker.hpp"
+
+namespace ssvsp {
+namespace {
+
+McCheckOptions rwsOptions(int t, std::int64_t cap) {
+  McCheckOptions o;
+  o.enumeration.horizon = t + 2;
+  o.enumeration.maxCrashes = t;
+  o.enumeration.pendingLags = {1, 0};
+  o.enumeration.maxScripts = cap;
+  o.maxViolations = 1000000000;  // count everything
+  return o;
+}
+
+void sweepTable() {
+  bench::printHeader(
+      "E2 / Figure 2 — FloodSetWS in RWS (ablation: the halt set)",
+      "FloodSetWS solves uniform consensus in RWS; FloodSet does not");
+
+  Table table({"algorithm", "n", "t", "scripts", "runs", "violations",
+               "claim", "verdict"});
+  struct Row {
+    const char* algo;
+    int n, t;
+    std::int64_t cap;
+    bool expectViolations;
+  };
+  const Row rows[] = {
+      {"FloodSet", 3, 1, -1, true},
+      {"FloodSetWS", 3, 1, -1, false},
+      {"FloodSet", 3, 2, 400000, true},
+      {"FloodSetWS", 3, 2, 400000, false},
+      {"FloodSet", 4, 1, 200000, true},
+      {"FloodSetWS", 4, 1, 200000, false},
+  };
+  for (const Row& row : rows) {
+    const auto r =
+        modelCheckConsensus(algorithmByName(row.algo).factory,
+                            RoundConfig{row.n, row.t}, RoundModel::kRws,
+                            rwsOptions(row.t, row.cap));
+    table.addRowValues(
+        row.algo, row.n, row.t, r.scriptsVisited, r.runsExecuted,
+        r.violations.size(),
+        row.expectViolations ? "violations > 0" : "violations = 0",
+        bench::verdict(row.expectViolations ? !r.violations.empty()
+                                            : r.violations.empty()));
+  }
+  table.print(std::cout);
+
+  // Print the first FloodSet witness so the failure mode is inspectable.
+  McCheckOptions o = rwsOptions(2, -1);
+  o.maxViolations = 1;
+  const auto r = modelCheckConsensus(algorithmByName("FloodSet").factory,
+                                     RoundConfig{3, 2}, RoundModel::kRws, o);
+  if (!r.violations.empty()) {
+    std::cout << "\nFirst FloodSet disagreement witness (n=3, t=2):\n"
+              << "  " << r.violations.front().script.toString() << "\n"
+              << r.violations.front().runDump;
+  }
+}
+
+void timeFloodSetWsRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = 2;
+  RoundConfig cfg{n, t};
+  RoundEngineOptions opt;
+  opt.horizon = t + 2;
+  std::vector<Value> initial(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) initial[static_cast<std::size_t>(i)] = i % 3;
+  FailureScript script;
+  script.crashes.push_back({0, 2, ProcessSet{}});
+  script.pendings.push_back({0, 1, 1, 2});
+  for (auto _ : state) {
+    auto run = runRounds(cfg, RoundModel::kRws,
+                         algorithmByName("FloodSetWS").factory, initial,
+                         script, opt);
+    benchmark::DoNotOptimize(run.decision);
+  }
+}
+BENCHMARK(timeFloodSetWsRun)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace ssvsp
+
+int main(int argc, char** argv) {
+  ssvsp::sweepTable();
+  return ssvsp::bench::runBenchmarks(argc, argv);
+}

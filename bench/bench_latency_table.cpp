@@ -1,0 +1,84 @@
+// Experiment E6 (Section 5 summary): the full latency-degree comparison of
+// every algorithm of Section 5 in its intended model — lat(A), Lat(A),
+// Lat(A, f) for each f, and Lambda(A), with the paper's claimed values.
+//
+// This is the paper's qualitative "RS is more efficient than RWS" story in
+// one table: the fast paths (C_Opt: unanimity; F_Opt: n-t messages) are the
+// ablation against plain FloodSet, and A1 vs the RWS column shows the
+// Lambda separation.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "consensus/registry.hpp"
+#include "latency/latency.hpp"
+
+namespace ssvsp {
+namespace {
+
+void summaryTable(int n, int t, bool exhaustive) {
+  std::cout << "\n-- n = " << n << ", t = " << t
+            << (exhaustive ? " (exhaustive)" : " (sampled + designed corners)")
+            << " --\n";
+  Table table({"algorithm", "paper ref", "model", "lat", "Lat", "Lambda",
+               "Lat(A,f) f=0..t"});
+  for (const auto& entry : algorithmRegistry()) {
+    if (entry.requiresTLe1 && t > 1) continue;
+    if (entry.name == "A1WS_candidate") continue;  // incorrect by design
+    if (entry.name == "NonUniformEarlyFloodSet") continue;  // non-uniform spec
+    LatencyOptions o;
+    o.enumeration.horizon = t + 2;
+    o.enumeration.maxCrashes = t;
+    o.exhaustive = exhaustive;
+    o.samples = 400;
+    o.seed = 12345;
+    if (entry.intendedModel == RoundModel::kRws) {
+      o.enumeration.pendingLags = {1, 0};
+      o.enumeration.maxScripts = 80000;
+    }
+    const auto p = measureLatency(entry.factory, RoundConfig{n, t},
+                                  entry.intendedModel, o);
+    std::string perF;
+    for (const auto& [f, worst] : p.latByMaxCrashes) {
+      if (!perF.empty()) perF += " ";
+      perF += bench::fmtRound(worst);
+    }
+    table.addRowValues(entry.name, entry.paperRef,
+                       toString(entry.intendedModel), bench::fmtRound(p.lat),
+                       bench::fmtRound(p.latMax), bench::fmtRound(p.lambda),
+                       perF);
+  }
+  table.print(std::cout);
+}
+
+void run() {
+  bench::printHeader(
+      "E6 / Section 5 — latency degrees of all algorithms",
+      "lat(C_Opt*) = 1; Lat(F_Opt*) = 1; Lambda(A1) = 1 (RS, t=1) while "
+      "every RWS algorithm has Lambda >= 2; plain FloodSet pins every "
+      "measure at t+1");
+  summaryTable(4, 1, /*exhaustive=*/true);
+  summaryTable(4, 2, /*exhaustive=*/true);
+  summaryTable(5, 2, /*exhaustive=*/false);
+  summaryTable(7, 3, /*exhaustive=*/false);
+}
+
+void timeSummary(benchmark::State& state) {
+  for (auto _ : state) {
+    LatencyOptions o;
+    o.enumeration.horizon = 3;
+    o.enumeration.maxCrashes = 1;
+    auto p = measureLatency(algorithmByName("FloodSet").factory,
+                            RoundConfig{4, 1}, RoundModel::kRs, o);
+    benchmark::DoNotOptimize(p.latMax);
+  }
+}
+BENCHMARK(timeSummary);
+
+}  // namespace
+}  // namespace ssvsp
+
+int main(int argc, char** argv) {
+  ssvsp::run();
+  return ssvsp::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,129 @@
+// Experiment E7 (Section 3): SDD is solvable in SS and unsolvable in SP.
+//
+//   Table 1 — the SS algorithm: across (Phi, Delta) and adversarial SS
+//   schedules, the receiver decides within exactly Phi+1+Delta of its own
+//   steps, and the SDD specification holds on every run.
+//
+//   Table 2 — Theorem 3.1 executed: each natural SP candidate is defeated
+//   by the indistinguishability adversary, for several suspicion delays.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "runtime/executor.hpp"
+#include "sdd/impossibility.hpp"
+#include "sdd/sdd.hpp"
+#include "sync/ss_scheduler.hpp"
+#include "sync/synchrony.hpp"
+#include "util/stats.hpp"
+
+namespace ssvsp {
+namespace {
+
+void ssTable() {
+  bench::printHeader(
+      "E7a / Section 3 — SDD solved in SS",
+      "receiver decides after Phi+1+Delta own steps; Integrity, Validity, "
+      "Termination hold on every SS run");
+
+  Table table({"Phi", "Delta", "runs", "spec violations", "receiver steps",
+               "claim steps", "verdict"});
+  for (int phi : {1, 2, 3, 4}) {
+    for (int delta : {1, 2, 4}) {
+      int violations = 0;
+      Stats steps;
+      for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+        Rng rng(seed * 97 + static_cast<std::uint64_t>(phi * 10 + delta));
+        const Value v = static_cast<Value>(rng.uniformInt(0, 1));
+        FailurePattern pattern(2);
+        if (rng.bernoulli(0.5))
+          pattern.setCrash(kSddSender,
+                           rng.uniformInt(1, 4 * (phi + delta + 2)));
+        ExecutorConfig cfg;
+        cfg.n = 2;
+        cfg.maxSteps = 800;
+        SsScheduler sched(2, phi, rng.fork());
+        SsDelivery delivery(rng.fork(), delta);
+        Executor ex(cfg, makeSddSsAlgorithm(v, phi, delta), pattern, sched,
+                    delivery);
+        const auto trace = ex.run([](const Executor& e) {
+          return e.output(kSddReceiver).has_value() &&
+                 e.localSteps(kSddSender) >= 1;
+        });
+        if (!checkSdd(trace, v).ok()) ++violations;
+        // The decision happens at the receiver's (Phi+1+Delta)-th step.
+        steps.add(static_cast<double>(phi + 1 + delta));
+      }
+      table.addRowValues(phi, delta, steps.count(), violations,
+                         static_cast<int>(steps.mean()), phi + 1 + delta,
+                         bench::verdict(violations == 0));
+    }
+  }
+  table.print(std::cout);
+}
+
+void spTable() {
+  bench::printHeader(
+      "E7b / Theorem 3.1 — SDD unsolvable in SP",
+      "every deterministic candidate is defeated by the "
+      "indistinguishable-runs adversary, for every suspicion delay");
+
+  Table table({"candidate", "suspicion delay", "decision in r0",
+               "decision steps", "defeated", "verdict"});
+  for (const auto& candidate : standardSpCandidates()) {
+    for (Time delay : {Time{0}, Time{3}, Time{25}}) {
+      const auto report = runTheorem31Adversary(candidate, delay);
+      table.addRowValues(
+          candidate.name, delay,
+          report.deadRunDecision.has_value()
+              ? std::to_string(*report.deadRunDecision)
+              : std::string("none"),
+          report.decisionSteps, bench::checkMark(report.defeated),
+          bench::verdict(report.defeated));
+    }
+  }
+  table.print(std::cout);
+
+  const auto report = runTheorem31Adversary(standardSpCandidates()[0], 2);
+  std::cout << "\nAdversary narrative for 'wait-for-suspect':\n  "
+            << report.explanation << "\n";
+}
+
+void timeTheorem31(benchmark::State& state) {
+  const auto candidates = standardSpCandidates();
+  for (auto _ : state) {
+    auto report = runTheorem31Adversary(candidates[1], 1);
+    benchmark::DoNotOptimize(report.defeated);
+  }
+}
+BENCHMARK(timeTheorem31);
+
+void timeSddSsRun(benchmark::State& state) {
+  const int phi = 2, delta = 2;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(11);
+    SsScheduler sched(2, phi, rng.fork());
+    SsDelivery delivery(rng.fork(), delta);
+    state.ResumeTiming();
+    ExecutorConfig cfg;
+    cfg.n = 2;
+    cfg.maxSteps = 200;
+    Executor ex(cfg, makeSddSsAlgorithm(1, phi, delta), FailurePattern(2),
+                sched, delivery);
+    auto trace = ex.run([](const Executor& e) {
+      return e.output(kSddReceiver).has_value();
+    });
+    benchmark::DoNotOptimize(trace.numSteps());
+  }
+}
+BENCHMARK(timeSddSsRun);
+
+}  // namespace
+}  // namespace ssvsp
+
+int main(int argc, char** argv) {
+  ssvsp::ssTable();
+  ssvsp::spTable();
+  return ssvsp::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,76 @@
+// Atomic commit across the two models — the paper's motivating application.
+//
+//   $ ./atomic_commit_demo
+//
+// A bank runs a distributed transaction across five resource managers; all
+// vote YES, but one crashes while broadcasting its vote.  The same scenario
+// is executed in RS (what a synchronous system guarantees) and in RWS (what
+// an asynchronous system with a perfect failure detector guarantees): RS
+// recovers the dying vote by flooding and COMMITS; in RWS the vote can be
+// in flight forever ("pending") and the survivors must ABORT — they cannot
+// distinguish a pending vote from an unsent one.  That distinction is the
+// Strongly Dependent Decision problem of Section 3.
+#include <iostream>
+
+#include "commit/commit.hpp"
+#include "rounds/engine.hpp"
+
+namespace {
+
+void report(const char* model, const ssvsp::RoundRunResult& run) {
+  using namespace ssvsp;
+  std::cout << "--- " << model << " ---\n";
+  for (ProcessId p = 0; p < run.cfg.n; ++p) {
+    std::cout << "  rm" << p << ": ";
+    const auto& d = run.decision[p];
+    if (!d.has_value())
+      std::cout << "(crashed undecided)";
+    else
+      std::cout << (*d == kDecideCommit ? "COMMIT" : "ABORT");
+    std::cout << '\n';
+  }
+  const auto verdict = checkNbac(run);
+  std::cout << "  NBAC spec: " << (verdict.ok() ? "satisfied" : verdict.witness)
+            << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ssvsp;
+
+  const RoundConfig cfg{5, 2};
+  const std::vector<Value> votes(5, kVoteYes);  // everyone votes YES
+
+  // rm4 crashes during the vote round; its vote reaches only rm1.
+  FailureScript crash;
+  crash.crashes.push_back({4, 1, ProcessSet{1}});
+
+  RoundEngineOptions options;
+  options.horizon = cfg.t + 2;
+
+  std::cout << "Distributed transaction: 5 resource managers, all vote YES;\n"
+               "rm4 crashes mid-broadcast (its vote reaches only rm1).\n\n";
+
+  // Synchronous system: the vote is recovered by flooding -> COMMIT.
+  report("RS (synchronous system)",
+         runRounds(cfg, RoundModel::kRs, makeCommitRs(), votes, crash,
+                   options));
+
+  // Async + perfect failure detector: the same crash, but the message to
+  // rm1 is pending and never surfaces -> the vote is unknowable -> ABORT.
+  FailureScript pendingCrash = crash;
+  pendingCrash.pendings.push_back({4, 1, 1, kNoRound});
+  report("RWS (asynchronous + perfect failure detector)",
+         runRounds(cfg, RoundModel::kRws, makeCommitRws(), votes,
+                   pendingCrash, options));
+
+  std::cout
+      << "Same votes, same crash: the synchronous model turns 'silence in a\n"
+         "round' into proof that the vote was never sent, so rm1's copy is\n"
+         "decisive; with only a perfect failure detector, silence might be a\n"
+         "pending message, and safety forces the conservative ABORT.  This\n"
+         "is why SS solves SDD and SP cannot (Theorem 3.1), and why SS\n"
+         "commits strictly more often (bench_commit_rate quantifies it).\n";
+  return 0;
+}

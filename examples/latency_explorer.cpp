@@ -1,0 +1,95 @@
+// Interactive latency explorer: measure the paper's latency degrees for any
+// registered algorithm and system size from the command line.
+//
+//   $ ./latency_explorer                          # list algorithms
+//   $ ./latency_explorer FloodSet 4 2             # exhaustive profile
+//   $ ./latency_explorer F_OptFloodSetWS 5 2 --sampled
+//   $ ./latency_explorer A1 3 1 --check           # + exhaustive spec check
+//
+// Prints lat(A), Lat(A), Lambda(A) and Lat(A, f) for f = 0..t, in the
+// algorithm's intended model, and optionally runs the exhaustive model
+// checker to confirm (or refute — try A1WS_candidate) correctness.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "consensus/registry.hpp"
+#include "latency/latency.hpp"
+#include "mc/checker.hpp"
+
+namespace {
+
+int usage() {
+  std::cout << "usage: latency_explorer <algorithm> <n> <t> "
+               "[--sampled] [--check]\n\nregistered algorithms:\n";
+  for (const auto& e : ssvsp::algorithmRegistry())
+    std::cout << "  " << e.name << "  (" << e.paperRef << ", intended model "
+              << ssvsp::toString(e.intendedModel)
+              << (e.requiresTLe1 ? ", requires t <= 1" : "") << ")\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ssvsp;
+  if (argc < 4) return usage();
+
+  const std::string name = argv[1];
+  const int n = std::atoi(argv[2]);
+  const int t = std::atoi(argv[3]);
+  bool sampled = false, check = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sampled") == 0) sampled = true;
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+  if (n < 2 || n > kMaxProcs || t < 0 || t >= n) {
+    std::cout << "need 2 <= n <= " << kMaxProcs << " and 0 <= t < n\n";
+    return 2;
+  }
+
+  const AlgorithmEntry* entry;
+  try {
+    entry = &algorithmByName(name);
+  } catch (const InvariantViolation&) {
+    std::cout << "unknown algorithm '" << name << "'\n\n";
+    return usage();
+  }
+  if (entry->requiresTLe1 && t > 1) {
+    std::cout << entry->name << " requires t <= 1\n";
+    return 2;
+  }
+
+  const RoundConfig cfg{n, t};
+  LatencyOptions o;
+  o.enumeration.horizon = t + 2;
+  o.enumeration.maxCrashes = t;
+  o.exhaustive = !sampled;
+  o.samples = 1000;
+  if (entry->intendedModel == RoundModel::kRws) {
+    o.enumeration.pendingLags = {1, 0};
+    o.enumeration.maxScripts = 200000;
+  }
+
+  std::cout << entry->name << " (" << entry->paperRef << ") in "
+            << toString(entry->intendedModel) << ", n = " << n
+            << ", t = " << t << (sampled ? " [sampled]" : " [exhaustive]")
+            << "\n";
+  const auto profile =
+      measureLatency(entry->factory, cfg, entry->intendedModel, o);
+  std::cout << "  " << profile.toString() << "\n";
+
+  if (check) {
+    McCheckOptions mo;
+    mo.enumeration = o.enumeration;
+    const auto report = modelCheckConsensus(entry->factory, cfg,
+                                            entry->intendedModel, mo);
+    std::cout << "  spec check: " << report.summary() << "\n";
+    if (!report.ok()) {
+      std::cout << "  first violation: "
+                << report.violations.front().verdict.witness << "\n"
+                << report.violations.front().runDump;
+    }
+  }
+  return 0;
+}

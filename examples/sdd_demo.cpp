@@ -1,0 +1,66 @@
+// The Strongly Dependent Decision problem, live (paper Section 3).
+//
+//   $ ./sdd_demo
+//
+// Part 1 runs the paper's SS algorithm on the step-level synchronous
+// simulator: the receiver decides after Phi+1+Delta of its own steps, and
+// gets the sender's value whenever the sender took at least one step.
+//
+// Part 2 turns Theorem 3.1 into a duel: every "natural" SP algorithm for
+// SDD is defeated by the indistinguishability adversary, which constructs
+// the runs r0 (dead sender) and r'_v (sender spoke once, message delayed)
+// from the proof and exhibits the validity violation.
+#include <iostream>
+
+#include "runtime/executor.hpp"
+#include "sdd/impossibility.hpp"
+#include "sdd/sdd.hpp"
+#include "sync/ss_scheduler.hpp"
+
+int main() {
+  using namespace ssvsp;
+
+  const int phi = 2, delta = 3;
+  std::cout << "=== Part 1: SDD solved in SS (Phi = " << phi
+            << ", Delta = " << delta << ") ===\n";
+  for (const bool senderDies : {false, true}) {
+    FailurePattern pattern(2);
+    if (senderDies) pattern.setCrash(kSddSender, 1);  // initially dead
+
+    Rng rng(senderDies ? 2 : 1);
+    SsScheduler scheduler(2, phi, rng.fork());
+    SsDelivery delivery(rng.fork(), delta);
+    ExecutorConfig config;
+    config.n = 2;
+    config.maxSteps = 500;
+    Executor executor(config, makeSddSsAlgorithm(/*senderInitial=*/1, phi,
+                                                 delta),
+                      pattern, scheduler, delivery);
+    executor.run([](const Executor& e) {
+      return e.output(kSddReceiver).has_value();
+    });
+    std::cout << (senderDies ? "  sender initially dead: "
+                             : "  sender alive:          ")
+              << "receiver decided "
+              << *executor.output(kSddReceiver)
+              << " after its " << (phi + 1 + delta) << "-step window\n";
+  }
+
+  std::cout << "\n=== Part 2: Theorem 3.1 — no SP algorithm solves SDD ===\n";
+  for (const auto& candidate : standardSpCandidates()) {
+    const auto report = runTheorem31Adversary(candidate, /*suspicionDelay=*/2);
+    std::cout << "\n* candidate '" << candidate.name << "' ("
+              << candidate.description << ")\n  "
+              << (report.defeated ? "DEFEATED" : "survived?!") << ": "
+              << report.explanation << "\n";
+  }
+
+  std::cout
+      << "\nThe duel is rigged by the model, not the adversary's luck: P's\n"
+         "detection delay is finite but unbounded, so the dead-sender run\n"
+         "and the sender-spoke-once run can always be made to look the same\n"
+         "to the receiver.  In SS the " << (phi + 1 + delta)
+      << "-step bound makes the two runs distinguishable — that bound IS\n"
+         "the extra power of the synchronous model.\n";
+  return 0;
+}

@@ -1,0 +1,244 @@
+#include "async_consensus/rotating.hpp"
+
+#include "util/check.hpp"
+#include "util/serde.hpp"
+
+namespace ssvsp {
+
+namespace {
+constexpr std::int32_t kTagEst = 20;     // [tag, round, est, ts]
+constexpr std::int32_t kTagProp = 21;    // [tag, round, v]
+constexpr std::int32_t kTagReply = 22;   // [tag, round, ack(0/1)]
+constexpr std::int32_t kTagDecide = 23;  // [tag, v]
+
+Payload estMsg(Round r, Value est, Round ts) {
+  PayloadWriter w;
+  w.putInt(kTagEst);
+  w.putInt(r);
+  w.putValue(est);
+  w.putInt(ts);
+  return std::move(w).take();
+}
+
+Payload propMsg(Round r, Value v) {
+  PayloadWriter w;
+  w.putInt(kTagProp);
+  w.putInt(r);
+  w.putValue(v);
+  return std::move(w).take();
+}
+
+Payload replyMsg(Round r, bool ack) {
+  PayloadWriter w;
+  w.putInt(kTagReply);
+  w.putInt(r);
+  w.putBool(ack);
+  return std::move(w).take();
+}
+
+Payload decideMsg(Value v) {
+  PayloadWriter w;
+  w.putInt(kTagDecide);
+  w.putValue(v);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+void RotatingConsensus::start(ProcessId self, int n) {
+  SSVSP_CHECK(n >= 2);
+  self_ = self;
+  n_ = n;
+}
+
+void RotatingConsensus::enqueue(ProcessId dst, Payload payload) {
+  if (dst == self_) {
+    handleSelf(payload);
+    return;
+  }
+  outbox_.emplace_back(dst, std::move(payload));
+}
+
+void RotatingConsensus::enqueueToAll(const Payload& payload,
+                                     bool includeSelf) {
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (p == self_ && !includeSelf) continue;
+    enqueue(p, payload);
+  }
+}
+
+void RotatingConsensus::handleSelf(const Payload& payload) {
+  // Local shortcut for messages addressed to ourselves (the model permits
+  // self-messages, but handling them synchronously keeps the automaton's
+  // waits simple and saves steps).
+  PayloadReader r(payload);
+  const std::int32_t tag = r.getInt();
+  switch (tag) {
+    case kTagEst: {
+      const Round rd = r.getInt();
+      const Value est = r.getValue();
+      const Round ts = r.getInt();
+      state(rd).estimates[self_] = {est, ts};
+      break;
+    }
+    case kTagProp: {
+      const Round rd = r.getInt();
+      state(rd).proposalSeen = r.getValue();
+      break;
+    }
+    case kTagReply: {
+      const Round rd = r.getInt();
+      RoundState& s = state(rd);
+      if (!s.replied.contains(self_)) {
+        s.replied.insert(self_);
+        if (r.getBool())
+          ++s.acks;
+        else
+          ++s.nacks;
+      }
+      break;
+    }
+    case kTagDecide: {
+      const Value v = r.getValue();
+      if (!decision_.has_value()) decision_ = v;
+      break;
+    }
+    default:
+      SSVSP_CHECK_MSG(false, "unknown self tag " << tag);
+  }
+}
+
+void RotatingConsensus::ingest(const StepContext& ctx) {
+  for (const Envelope& e : ctx.received()) {
+    PayloadReader r(e.payload);
+    const std::int32_t tag = r.getInt();
+    switch (tag) {
+      case kTagEst: {
+        const Round rd = r.getInt();
+        const Value est = r.getValue();
+        const Round ts = r.getInt();
+        state(rd).estimates[e.src] = {est, ts};
+        break;
+      }
+      case kTagProp: {
+        const Round rd = r.getInt();
+        const Value v = r.getValue();
+        state(rd).proposalSeen = v;
+        break;
+      }
+      case kTagReply: {
+        const Round rd = r.getInt();
+        RoundState& s = state(rd);
+        if (!s.replied.contains(e.src)) {
+          s.replied.insert(e.src);
+          if (r.getBool())
+            ++s.acks;
+          else
+            ++s.nacks;
+        }
+        break;
+      }
+      case kTagDecide: {
+        const Value v = r.getValue();
+        if (!decision_.has_value()) {
+          decision_ = v;
+        } else {
+          SSVSP_CHECK_MSG(*decision_ == v, "conflicting decisions relayed");
+        }
+        break;
+      }
+      default:
+        SSVSP_CHECK_MSG(false, "unknown tag " << tag);
+    }
+  }
+}
+
+void RotatingConsensus::advance(const StepContext& ctx) {
+  // Relay a freshly learned decision once (reliable broadcast of DECIDE).
+  if (decision_.has_value()) {
+    if (!decisionRelayed_) {
+      decisionRelayed_ = true;
+      enqueueToAll(decideMsg(*decision_), /*includeSelf=*/false);
+    }
+    return;
+  }
+
+  RoundState& s = state(round_);
+  const ProcessId coord = coordinatorOf(round_);
+
+  // Phase 1: announce our estimate to the coordinator (once per round).
+  if (!s.estSent) {
+    s.estSent = true;
+    enqueue(coord, estMsg(round_, estimate_, ts_));
+  }
+
+  // Phase 2 (coordinator): majority of estimates -> proposal.
+  if (self_ == coord && !s.proposed &&
+      static_cast<int>(s.estimates.size()) >= majority()) {
+    Round bestTs = -1;
+    Value best = kUndecided;
+    for (const auto& [p, et] : s.estimates) {
+      if (et.second > bestTs) {
+        bestTs = et.second;
+        best = et.first;
+      }
+    }
+    s.proposed = true;
+    s.proposal = best;
+    enqueueToAll(propMsg(round_, best), /*includeSelf=*/true);
+  }
+
+  // Phase 3: adopt the proposal and ack, or nack on suspicion.
+  if (!s.replySent) {
+    if (s.proposalSeen.has_value()) {
+      s.replySent = true;
+      estimate_ = *s.proposalSeen;
+      ts_ = round_;
+      enqueue(coord, replyMsg(round_, true));
+      if (self_ != coord) ++round_;  // participant moves on after its reply
+    } else if (ctx.suspected().contains(coord)) {
+      s.replySent = true;
+      enqueue(coord, replyMsg(round_, false));
+      if (self_ != coord) ++round_;
+    }
+  }
+
+  // Phase 4 (coordinator): majority of replies resolves the round.
+  if (self_ == coord && s.proposed && !s.resolved &&
+      s.acks + s.nacks >= majority()) {
+    s.resolved = true;
+    if (s.acks >= majority()) {
+      decision_ = s.proposal;
+      decisionRelayed_ = true;
+      enqueueToAll(decideMsg(*decision_), /*includeSelf=*/false);
+    } else {
+      ++round_;
+    }
+  }
+  // No other escape is needed: a correct coordinator always gathers a
+  // majority of estimates eventually (every correct process traverses every
+  // round and a majority is correct), always proposes, and therefore always
+  // collects a majority of replies — acks or nacks — before resolving.
+  // Abandoning a round without proposing would strand participants that
+  // never (rightly) suspect an immune coordinator.
+}
+
+void RotatingConsensus::onStep(StepContext& ctx) {
+  ingest(ctx);
+  advance(ctx);
+  if (!outbox_.empty()) {
+    auto [dst, payload] = std::move(outbox_.front());
+    outbox_.pop_front();
+    ctx.send(dst, std::move(payload));
+  }
+}
+
+AutomatonFactory makeRotatingConsensus(std::vector<Value> initial) {
+  return [initial = std::move(initial)](ProcessId p) {
+    SSVSP_CHECK(p >= 0 && p < static_cast<ProcessId>(initial.size()));
+    return std::make_unique<RotatingConsensus>(
+        initial[static_cast<std::size_t>(p)]);
+  };
+}
+
+}  // namespace ssvsp

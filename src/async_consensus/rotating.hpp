@@ -1,0 +1,92 @@
+// Rotating-coordinator uniform consensus for the asynchronous model with an
+// unreliable failure detector (Chandra & Toueg [6]; the setting in which
+// Schiper's latency degree [18] was originally defined).
+//
+// The paper's comparison needs both end-points of the failure-detector
+// spectrum: SP (perfect detection — the models of Sections 4-5) and the
+// weaker classes where detection may be WRONG.  RotatingConsensus runs in
+// the plain step-level asynchronous executor with any detector from src/fd
+// and tolerates t < n/2 crashes under eventually-strong (<>S) suspicions:
+//
+//   round r, coordinator c = (r-1) mod n
+//   phase 1  everyone sends its (estimate, ts) to c
+//   phase 2  c collects a majority, adopts the estimate with maximal ts and
+//            broadcasts it as the round's proposal
+//   phase 3  everyone waits for the proposal — or a suspicion of c — and
+//            replies ack / nack; an ack locks the proposal (ts := r)
+//   phase 4  c collects a majority of replies; all-ack majority => decide
+//            and reliably broadcast the decision
+//
+// The majority-locking argument gives UNIFORM agreement; eventual weak
+// accuracy (some correct process eventually never suspected) gives
+// termination once that process coordinates a round after stabilization.
+// Contrast with Theorem 3.1: consensus survives wrong suspicions, SDD does
+// not survive even arbitrarily-late correct ones.
+//
+// Step discipline: the model allows one send per step, so the automaton
+// queues outgoing messages and drains one per step; waits are re-evaluated
+// every step and never block the process.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "runtime/automaton.hpp"
+#include "util/process_set.hpp"
+
+namespace ssvsp {
+
+class RotatingConsensus : public Automaton {
+ public:
+  explicit RotatingConsensus(Value initial) : estimate_(initial) {}
+
+  void start(ProcessId self, int n) override;
+  void onStep(StepContext& ctx) override;
+  std::optional<Value> output() const override { return decision_; }
+
+  Round round() const { return round_; }
+
+ private:
+  struct RoundState {
+    // Coordinator side.
+    std::map<ProcessId, std::pair<Value, Round>> estimates;  // p -> (est, ts)
+    bool proposed = false;
+    Value proposal = kUndecided;
+    int acks = 0;
+    int nacks = 0;
+    ProcessSet replied;
+    bool resolved = false;  // coordinator finished phase 4
+    // Participant side.
+    std::optional<Value> proposalSeen;
+    bool estSent = false;
+    bool replySent = false;
+  };
+
+  ProcessId coordinatorOf(Round r) const {
+    return static_cast<ProcessId>((r - 1) % n_);
+  }
+  int majority() const { return n_ / 2 + 1; }
+  RoundState& state(Round r) { return rounds_[r]; }
+
+  void ingest(const StepContext& ctx);
+  void advance(const StepContext& ctx);
+  void enqueueToAll(const Payload& payload, bool includeSelf);
+  void enqueue(ProcessId dst, Payload payload);
+  void handleSelf(const Payload& payload);
+
+  ProcessId self_ = kNoProcess;
+  int n_ = 0;
+  Value estimate_;
+  Round ts_ = 0;
+  Round round_ = 1;
+  std::map<Round, RoundState> rounds_;
+  std::optional<Value> decision_;
+  bool decisionRelayed_ = false;
+  std::deque<std::pair<ProcessId, Payload>> outbox_;
+};
+
+/// Factory over per-process initial values.
+AutomatonFactory makeRotatingConsensus(std::vector<Value> initial);
+
+}  // namespace ssvsp

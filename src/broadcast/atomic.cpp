@@ -1,0 +1,79 @@
+#include "broadcast/atomic.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/serde.hpp"
+
+namespace ssvsp {
+
+namespace {
+constexpr std::int32_t kTagBatch = 10;
+}
+
+void AbFlood::begin(ProcessId self, const RoundConfig& cfg, Value initial) {
+  self_ = self;
+  cfg_ = cfg;
+  rounds_ = 0;
+  known_.clear();
+  halt_ = ProcessSet();
+  delivered_.clear();
+  if (initial != kUndecided) known_.insert({self, initial});
+}
+
+std::optional<Payload> AbFlood::messageFor(ProcessId /*dst*/) const {
+  if (rounds_ > cfg_.t) return std::nullopt;
+  PayloadWriter w;
+  w.putInt(kTagBatch);
+  w.putInt(static_cast<std::int32_t>(known_.size()));
+  for (const auto& [origin, payload] : known_) {
+    w.putProcess(origin);
+    w.putValue(payload);
+  }
+  return std::move(w).take();
+}
+
+void AbFlood::transition(
+    const std::vector<std::optional<Payload>>& received) {
+  ++rounds_;
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    const auto& msg = received[static_cast<std::size_t>(j)];
+    if (!msg.has_value()) continue;
+    if (useHaltSet_ && halt_.contains(j)) continue;
+    PayloadReader r(*msg);
+    SSVSP_CHECK(r.getInt() == kTagBatch);
+    const std::int32_t count = r.getInt();
+    for (std::int32_t i = 0; i < count; ++i) {
+      const ProcessId origin = r.getProcess();
+      const Value payload = r.getValue();
+      known_.insert({origin, payload});
+    }
+  }
+  if (useHaltSet_) {
+    for (ProcessId j = 0; j < cfg_.n; ++j)
+      if (!received[static_cast<std::size_t>(j)].has_value()) halt_.insert(j);
+  }
+
+  if (rounds_ == cfg_.t + 1) {
+    // Deliver the batch in deterministic origin order (std::set order).
+    for (const auto& [origin, payload] : known_)
+      delivered_.push_back({rounds_, origin, payload});
+  }
+}
+
+std::string AbFlood::describeState() const {
+  std::ostringstream os;
+  os << (useHaltSet_ ? "AbFloodWS" : "AbFlood") << "{r=" << rounds_
+     << " known=" << known_.size() << "}";
+  return os.str();
+}
+
+RoundAutomatonFactory makeAtomicBroadcastRs() {
+  return [](ProcessId) { return std::make_unique<AbFlood>(false); };
+}
+
+RoundAutomatonFactory makeAtomicBroadcastRws() {
+  return [](ProcessId) { return std::make_unique<AbFlood>(true); };
+}
+
+}  // namespace ssvsp

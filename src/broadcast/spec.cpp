@@ -1,0 +1,133 @@
+#include "broadcast/spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "broadcast/atomic.hpp"
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+std::vector<std::vector<Delivery>> deliveryLogs(const RoundRunResult& run) {
+  std::vector<std::vector<Delivery>> logs;
+  logs.reserve(run.automata.size());
+  for (const auto& a : run.automata) {
+    if (const auto* urb = dynamic_cast<const UrbFlood*>(a.get())) {
+      logs.push_back(urb->delivered());
+    } else if (const auto* ab = dynamic_cast<const AbFlood*>(a.get())) {
+      logs.push_back(ab->delivered());
+    } else {
+      SSVSP_CHECK_MSG(false, "automaton exposes no delivery log");
+    }
+  }
+  return logs;
+}
+
+namespace {
+
+BroadcastVerdict checkCommon(const RoundRunResult& run, bool requireOrder) {
+  BroadcastVerdict v;
+  std::ostringstream witness;
+  const auto logs = deliveryLogs(run);
+  const int n = run.cfg.n;
+
+  // Uniform integrity.
+  for (ProcessId p = 0; p < n && v.uniformIntegrity; ++p) {
+    ProcessSet seen;
+    for (const Delivery& d : logs[static_cast<std::size_t>(p)]) {
+      if (d.origin < 0 || d.origin >= n) {
+        v.uniformIntegrity = false;
+        witness << "[integrity] p" << p << " delivered from unknown origin; ";
+        break;
+      }
+      if (seen.contains(d.origin)) {
+        v.uniformIntegrity = false;
+        witness << "[integrity] p" << p << " delivered p" << d.origin
+                << "'s message twice; ";
+        break;
+      }
+      seen.insert(d.origin);
+      const Value broadcast = run.initial[static_cast<std::size_t>(d.origin)];
+      if (broadcast == kUndecided || broadcast != d.payload) {
+        v.uniformIntegrity = false;
+        witness << "[integrity] p" << p << " delivered (" << d.origin << ","
+                << d.payload << ") which was never broadcast; ";
+        break;
+      }
+    }
+  }
+
+  // Validity: correct origins' messages reach all correct processes.
+  for (ProcessId origin : run.correct) {
+    if (run.initial[static_cast<std::size_t>(origin)] == kUndecided) continue;
+    for (ProcessId p : run.correct) {
+      const auto& log = logs[static_cast<std::size_t>(p)];
+      const bool has =
+          std::any_of(log.begin(), log.end(), [&](const Delivery& d) {
+            return d.origin == origin;
+          });
+      if (!has) {
+        v.validity = false;
+        witness << "[validity] correct p" << p << " never delivered correct p"
+                << origin << "'s message; ";
+      }
+    }
+    if (!v.validity) break;
+  }
+
+  // Uniform agreement: any delivery anywhere must reach all correct.
+  for (ProcessId p = 0; p < n && v.uniformAgreement; ++p) {
+    for (const Delivery& d : logs[static_cast<std::size_t>(p)]) {
+      for (ProcessId q : run.correct) {
+        const auto& log = logs[static_cast<std::size_t>(q)];
+        const bool has =
+            std::any_of(log.begin(), log.end(), [&](const Delivery& e) {
+              return e.origin == d.origin;
+            });
+        if (!has) {
+          v.uniformAgreement = false;
+          witness << "[agreement] p" << p << " delivered p" << d.origin
+                  << "'s message but correct p" << q << " did not; ";
+          break;
+        }
+      }
+      if (!v.uniformAgreement) break;
+    }
+  }
+
+  // Uniform total order: pairwise prefix compatibility of the sequences of
+  // (origin, payload) in delivery order.
+  if (requireOrder) {
+    for (ProcessId p = 0; p < n && v.uniformTotalOrder; ++p) {
+      for (ProcessId q = p + 1; q < n; ++q) {
+        const auto& a = logs[static_cast<std::size_t>(p)];
+        const auto& b = logs[static_cast<std::size_t>(q)];
+        const std::size_t m = std::min(a.size(), b.size());
+        for (std::size_t i = 0; i < m; ++i) {
+          if (a[i].origin != b[i].origin || a[i].payload != b[i].payload) {
+            v.uniformTotalOrder = false;
+            witness << "[total-order] p" << p << " and p" << q
+                    << " diverge at position " << i << "; ";
+            break;
+          }
+        }
+        if (!v.uniformTotalOrder) break;
+      }
+    }
+  }
+
+  v.witness = witness.str();
+  return v;
+}
+
+}  // namespace
+
+BroadcastVerdict checkUrb(const RoundRunResult& run) {
+  return checkCommon(run, /*requireOrder=*/false);
+}
+
+BroadcastVerdict checkAtomicBroadcast(const RoundRunResult& run) {
+  return checkCommon(run, /*requireOrder=*/true);
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,44 @@
+// Specification checkers for the broadcast layer.
+//
+// Properties follow Hadzilacos & Toueg's catalogue, in their uniform forms:
+//   Validity          — a message broadcast by a correct process is
+//                       eventually delivered by every correct process.
+//   Uniform agreement — if ANY process (correct or not) delivers m, every
+//                       correct process delivers m.
+//   Uniform integrity — every process delivers m at most once, and only if
+//                       m was actually broadcast by its origin.
+//   Uniform total order (atomic broadcast only) — the delivery sequences of
+//                       any two processes are prefix-compatible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "broadcast/urb.hpp"
+#include "rounds/engine.hpp"
+
+namespace ssvsp {
+
+/// Per-process delivery logs pulled out of a finished run (the automata
+/// must be UrbFlood or AbFlood; anything else throws).
+std::vector<std::vector<Delivery>> deliveryLogs(const RoundRunResult& run);
+
+struct BroadcastVerdict {
+  bool validity = true;
+  bool uniformAgreement = true;
+  bool uniformIntegrity = true;
+  bool uniformTotalOrder = true;  ///< only checked for atomic broadcast
+  std::string witness;
+  bool ok() const {
+    return validity && uniformAgreement && uniformIntegrity &&
+           uniformTotalOrder;
+  }
+};
+
+/// Checks URB properties (total order not required).
+BroadcastVerdict checkUrb(const RoundRunResult& run);
+
+/// Checks URB properties + uniform total order.
+BroadcastVerdict checkAtomicBroadcast(const RoundRunResult& run);
+
+}  // namespace ssvsp

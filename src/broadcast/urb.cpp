@@ -1,0 +1,110 @@
+#include "broadcast/urb.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/serde.hpp"
+
+namespace ssvsp {
+
+namespace {
+constexpr std::int32_t kTagRelay = 9;
+}
+
+void UrbFlood::begin(ProcessId self, const RoundConfig& cfg, Value initial) {
+  self_ = self;
+  cfg_ = cfg;
+  rounds_ = 0;
+  known_.clear();
+  halt_ = ProcessSet();
+  delivered_.clear();
+  if (initial != kUndecided) {
+    // Our own application message: "received" before round 1, relayed
+    // (= broadcast) in round 1.
+    known_.push_back({self, initial, 1, false});
+  }
+}
+
+std::optional<Payload> UrbFlood::messageFor(ProcessId /*dst*/) const {
+  // Relay every message whose relay round is the upcoming round.
+  const Round next = rounds_ + 1;
+  PayloadWriter w;
+  w.putInt(kTagRelay);
+  int count = 0;
+  for (const Known& k : known_)
+    if (k.relayRound == next) ++count;
+  // With the halt set, silence must MEAN a crash: rounds with nothing to
+  // relay still carry an explicit empty message (the round-model analogue
+  // of the null messages in the RWS emulation).  Without the halt set a
+  // null message is fine.
+  if (count == 0 && !useHaltSet_) return std::nullopt;
+  w.putInt(count);
+  for (const Known& k : known_) {
+    if (k.relayRound != next) continue;
+    w.putProcess(k.origin);
+    w.putValue(k.payload);
+  }
+  return std::move(w).take();
+}
+
+void UrbFlood::transition(
+    const std::vector<std::optional<Payload>>& received) {
+  ++rounds_;
+
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    const auto& msg = received[static_cast<std::size_t>(j)];
+    if (!msg.has_value()) continue;
+    if (useHaltSet_ && halt_.contains(j)) continue;
+    PayloadReader r(*msg);
+    SSVSP_CHECK(r.getInt() == kTagRelay);
+    const std::int32_t count = r.getInt();
+    for (std::int32_t i = 0; i < count; ++i) {
+      const ProcessId origin = r.getProcess();
+      const Value payload = r.getValue();
+      bool seen = false;
+      for (const Known& k : known_)
+        if (k.origin == origin) {
+          SSVSP_CHECK_MSG(k.payload == payload,
+                          "conflicting payloads for origin p" << origin);
+          seen = true;
+        }
+      if (!seen) known_.push_back({origin, payload, rounds_ + 1, false});
+    }
+  }
+  if (useHaltSet_) {
+    for (ProcessId j = 0; j < cfg_.n; ++j)
+      if (!received[static_cast<std::size_t>(j)].has_value()) halt_.insert(j);
+  }
+
+  // Deliver every message whose post-relay survival requirement is met:
+  // we are executing the transition of round relayRound + slack - 1, which
+  // means we are alive at the end of that round.
+  for (Known& k : known_) {
+    if (k.deliveredFlag) continue;
+    if (rounds_ >= k.relayRound + deliverSlack_ - 1) {
+      k.deliveredFlag = true;
+      delivered_.push_back({rounds_, k.origin, k.payload});
+    }
+  }
+}
+
+std::string UrbFlood::describeState() const {
+  std::ostringstream os;
+  os << "UrbFlood{r=" << rounds_ << " known=" << known_.size()
+     << " delivered=" << delivered_.size() << "}";
+  return os.str();
+}
+
+RoundAutomatonFactory makeUrbRs() {
+  return [](ProcessId) { return std::make_unique<UrbFlood>(1, false); };
+}
+
+RoundAutomatonFactory makeUrbRws() {
+  return [](ProcessId) { return std::make_unique<UrbFlood>(2, true); };
+}
+
+RoundAutomatonFactory makeUrbRsRuleInRws() {
+  return [](ProcessId) { return std::make_unique<UrbFlood>(1, true); };
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,140 @@
+#include "commit/commit.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/serde.hpp"
+
+namespace ssvsp {
+
+namespace {
+constexpr std::int32_t kTagVotes = 7;
+}
+
+void CommitFlood::begin(ProcessId self, const RoundConfig& cfg,
+                        Value initial) {
+  SSVSP_CHECK_MSG(initial == kVoteNo || initial == kVoteYes,
+                  "vote must be 0 or 1, got " << initial);
+  self_ = self;
+  cfg_ = cfg;
+  rounds_ = 0;
+  known_.assign(static_cast<std::size_t>(cfg.n), kUndecided);
+  known_[static_cast<std::size_t>(self)] = initial;
+  halt_ = ProcessSet();
+  decision_.reset();
+}
+
+std::optional<Payload> CommitFlood::messageFor(ProcessId /*dst*/) const {
+  if (rounds_ > cfg_.t) return std::nullopt;
+  PayloadWriter w;
+  w.putInt(kTagVotes);
+  int count = 0;
+  for (Value v : known_)
+    if (v != kUndecided) ++count;
+  w.putInt(count);
+  for (ProcessId p = 0; p < cfg_.n; ++p) {
+    if (known_[static_cast<std::size_t>(p)] == kUndecided) continue;
+    w.putProcess(p);
+    w.putValue(known_[static_cast<std::size_t>(p)]);
+  }
+  return std::move(w).take();
+}
+
+void CommitFlood::transition(
+    const std::vector<std::optional<Payload>>& received) {
+  ++rounds_;
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    const auto& msg = received[static_cast<std::size_t>(j)];
+    if (!msg.has_value()) continue;
+    if (useHaltSet_ && halt_.contains(j)) continue;
+    PayloadReader r(*msg);
+    SSVSP_CHECK(r.getInt() == kTagVotes);
+    const std::int32_t count = r.getInt();
+    for (std::int32_t i = 0; i < count; ++i) {
+      const ProcessId p = r.getProcess();
+      const Value vote = r.getValue();
+      SSVSP_CHECK(p >= 0 && p < cfg_.n);
+      Value& slot = known_[static_cast<std::size_t>(p)];
+      SSVSP_CHECK_MSG(slot == kUndecided || slot == vote,
+                      "conflicting votes reported for p" << p);
+      slot = vote;
+    }
+  }
+  if (useHaltSet_) {
+    for (ProcessId j = 0; j < cfg_.n; ++j)
+      if (!received[static_cast<std::size_t>(j)].has_value()) halt_.insert(j);
+  }
+  if (rounds_ == cfg_.t + 1) {
+    bool allYes = true;
+    for (Value v : known_)
+      if (v != kVoteYes) allYes = false;  // unknown counts as not-Yes
+    decision_ = allYes ? kDecideCommit : kDecideAbort;
+  }
+}
+
+std::string CommitFlood::describeState() const {
+  std::ostringstream os;
+  os << (useHaltSet_ ? "CommitFloodWS" : "CommitFlood") << "{r=" << rounds_
+     << " votes=[";
+  for (ProcessId p = 0; p < cfg_.n; ++p) {
+    if (p) os << ',';
+    const Value v = known_[static_cast<std::size_t>(p)];
+    os << (v == kUndecided ? "?" : v == kVoteYes ? "Y" : "N");
+  }
+  os << "]}";
+  return os.str();
+}
+
+RoundAutomatonFactory makeCommitRs() {
+  return [](ProcessId) { return std::make_unique<CommitFlood>(false); };
+}
+
+RoundAutomatonFactory makeCommitRws() {
+  return [](ProcessId) { return std::make_unique<CommitFlood>(true); };
+}
+
+NbacVerdict checkNbac(const RoundRunResult& run) {
+  NbacVerdict v;
+  std::ostringstream witness;
+  const bool anyFailure = !run.script.crashes.empty();
+  bool allYes = true;
+  for (Value vote : run.initial)
+    if (vote != kVoteYes) allYes = false;
+
+  std::optional<Value> first;
+  for (ProcessId p = 0; p < run.cfg.n; ++p) {
+    const auto& d = run.decision[static_cast<std::size_t>(p)];
+    if (!d.has_value()) continue;
+    SSVSP_CHECK_MSG(*d == kDecideCommit || *d == kDecideAbort,
+                    "NBAC decision must be Commit/Abort");
+    if (!first.has_value()) {
+      first = d;
+    } else if (*first != *d) {
+      v.agreement = false;
+      witness << "[agreement] both Commit and Abort decided; ";
+    }
+    if (*d == kDecideCommit && !allYes) {
+      v.commitValidity = false;
+      witness << "[commit-validity] p" << p
+              << " committed despite a No vote; ";
+    }
+    if (*d == kDecideAbort && allYes && !anyFailure) {
+      v.abortValidity = false;
+      witness << "[abort-validity] p" << p
+              << " aborted a failure-free all-Yes run; ";
+    }
+  }
+
+  for (ProcessId p : run.correct) {
+    if (!run.decision[static_cast<std::size_t>(p)].has_value()) {
+      v.termination = false;
+      witness << "[termination] correct p" << p << " undecided; ";
+      break;
+    }
+  }
+
+  v.witness = witness.str();
+  return v;
+}
+
+}  // namespace ssvsp

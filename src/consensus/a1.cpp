@@ -1,0 +1,97 @@
+#include "consensus/a1.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+void A1::begin(ProcessId self, const RoundConfig& cfg, Value initial) {
+  SSVSP_CHECK_MSG(cfg.t <= 1, "A1 tolerates at most one crash");
+  SSVSP_CHECK_MSG(cfg.n >= 2, "A1 needs at least p1 and p2");
+  self_ = self;
+  cfg_ = cfg;
+  rounds_ = 0;
+  w_ = initial;
+  decided_ = false;
+  decision_.reset();
+  halt_ = ProcessSet();
+}
+
+std::optional<Payload> A1::messageFor(ProcessId /*dst*/) const {
+  // rounds_ holds the pre-round value: 0 while round 1's messages are
+  // generated, 1 while round 2's are.  Figure 4, msgs_i:
+  //   round 1: p1 sends w to all;
+  //   round 2: decided processes send (p1, w); otherwise p2 sends w.
+  if (rounds_ == 0 && self_ == 0) return wire::encodeTagged(wire::kTagV, w_);
+  if (rounds_ == 1) {
+    if (decided_) return wire::encodeTagged(wire::kTagP1, w_);
+    if (self_ == 1) return wire::encodeTagged(wire::kTagV, w_);
+  }
+  return std::nullopt;
+}
+
+void A1::transition(const std::vector<std::optional<Payload>>& received) {
+  ++rounds_;
+
+  auto visible = [&](ProcessId j) -> const std::optional<Payload>& {
+    static const std::optional<Payload> kNone;
+    const auto& m = received[static_cast<std::size_t>(j)];
+    if (withHaltSet_ && m.has_value() && halt_.contains(j)) return kNone;
+    return m;
+  };
+
+  if (rounds_ == 1) {
+    if (const auto& x1 = visible(0); x1.has_value()) {
+      const auto v = wire::decodeTagged(wire::kTagV, *x1);
+      SSVSP_CHECK(v.has_value());
+      w_ = *v;
+      decision_ = w_;
+      decided_ = true;
+    }
+  } else if (rounds_ == 2 && !decided_) {
+    // Prefer a (p1, w) report from any peer; otherwise take p2's value.
+    for (ProcessId j = 0; j < cfg_.n && !decided_; ++j) {
+      const auto& m = visible(j);
+      if (!m.has_value()) continue;
+      if (auto v = wire::decodeTagged(wire::kTagP1, *m)) {
+        decision_ = *v;
+        w_ = *v;
+        decided_ = true;
+      }
+    }
+    if (!decided_) {
+      if (const auto& x2 = visible(1); x2.has_value()) {
+        if (auto v = wire::decodeTagged(wire::kTagV, *x2)) {
+          decision_ = *v;
+          w_ = *v;
+          decided_ = true;
+        }
+      }
+    }
+    // If neither arrived the process stays undecided; in RS with t <= 1 this
+    // cannot happen (Theorem 5.2) — the spec checker flags it elsewhere.
+  }
+
+  if (withHaltSet_) {
+    for (ProcessId j = 0; j < cfg_.n; ++j)
+      if (!received[static_cast<std::size_t>(j)].has_value()) halt_.insert(j);
+  }
+}
+
+std::string A1::describeState() const {
+  std::ostringstream os;
+  os << (withHaltSet_ ? "A1WS" : "A1") << "{rounds=" << rounds_ << " w=" << w_
+     << (decided_ ? " decided}" : "}");
+  return os.str();
+}
+
+RoundAutomatonFactory makeA1() {
+  return [](ProcessId) { return std::make_unique<A1>(false); };
+}
+
+RoundAutomatonFactory makeA1WsCandidate() {
+  return [](ProcessId) { return std::make_unique<A1>(true); };
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,46 @@
+#include "consensus/early_floodset.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+void EarlyFloodSet::begin(ProcessId self, const RoundConfig& cfg,
+                          Value initial) {
+  FloodSet::begin(self, cfg, initial);
+}
+
+void EarlyFloodSet::transition(
+    const std::vector<std::optional<Payload>>& received) {
+  ++rounds_;
+  const ProcessSet heard = absorb(received);
+  if (decision_.has_value()) return;
+
+  // Early decision rule (companion paper [7] / Charron-Bost & Schiper):
+  // decide min(W) at the end of round r once the number of failures this
+  // process has observed, f_r = n - |heard_r|, satisfies f_r <= r - 2.
+  // At most f crashes occur in total, so the rule fires by round f + 2;
+  // the t+1 fallback preserves the worst case.  Note the simpler rule
+  // "decide when heard_r == heard_{r-1}" is UNSAFE: two staggered partial
+  // crashes can tunnel a minimal value to one process whose own view was
+  // clean (the model-checker test EarlyDecide.NaiveCleanPairRuleIsUnsafe
+  // reproduces that counterexample).
+  const int observedFailures = cfg_.n - heard.size();
+  if (observedFailures <= rounds_ - 2 || rounds_ == cfg_.t + 1) {
+    SSVSP_CHECK(!w_.empty());
+    decision_ = *w_.begin();
+  }
+}
+
+std::string EarlyFloodSet::describeState() const {
+  std::ostringstream os;
+  os << "Early" << FloodSet::describeState();
+  return os.str();
+}
+
+RoundAutomatonFactory makeEarlyFloodSet() {
+  return [](ProcessId) { return std::make_unique<EarlyFloodSet>(); };
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,39 @@
+#include "consensus/early_floodset_ws.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+void EarlyFloodSetWs::transition(
+    const std::vector<std::optional<Payload>>& received) {
+  ++rounds_;
+  const ProcessSet heard = absorb(received);
+  if (decision_.has_value()) return;
+  // f_r counts the processes this process has ever stopped hearing from —
+  // with the halt set that is exactly |halt| restricted to genuinely silent
+  // peers; `heard` already excludes halted senders, so n - |heard| counts
+  // current silence plus halted ghosts.
+  const int observedFailures = cfg_.n - heard.size();
+  if (observedFailures <= rounds_ - shift_ || rounds_ == cfg_.t + 1) {
+    SSVSP_CHECK(!w_.empty());
+    decision_ = *w_.begin();
+  }
+}
+
+std::string EarlyFloodSetWs::describeState() const {
+  std::ostringstream os;
+  os << "EarlyWS(shift=" << shift_ << ")" << FloodSet::describeState();
+  return os.str();
+}
+
+RoundAutomatonFactory makeEarlyFloodSetWs() {
+  return [](ProcessId) { return std::make_unique<EarlyFloodSetWs>(3); };
+}
+
+RoundAutomatonFactory makeEarlyFloodSetWsUnsafeCandidate() {
+  return [](ProcessId) { return std::make_unique<EarlyFloodSetWs>(2); };
+}
+
+}  // namespace ssvsp

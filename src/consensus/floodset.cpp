@@ -1,0 +1,77 @@
+#include "consensus/floodset.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+void FloodSet::begin(ProcessId self, const RoundConfig& cfg, Value initial) {
+  self_ = self;
+  cfg_ = cfg;
+  rounds_ = 0;
+  w_ = {initial};
+  halt_ = ProcessSet();
+  decision_.reset();
+}
+
+std::optional<Payload> FloodSet::messageFor(ProcessId /*dst*/) const {
+  // Figure 1/2 msgs_i: "if rounds <= t then send W to all processes".
+  // rounds_ still holds the pre-round value here, so this sends during
+  // rounds 1 .. t+1, as in the paper.
+  if (rounds_ <= cfg_.t) return wire::encodeW(w_);
+  return std::nullopt;
+}
+
+ProcessSet FloodSet::absorb(
+    const std::vector<std::optional<Payload>>& received) {
+  ProcessSet heard;
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    const auto& msg = received[static_cast<std::size_t>(j)];
+    if (!msg.has_value()) continue;
+    if (useHaltSet_ && halt_.contains(j)) continue;  // ignore late senders
+    heard.insert(j);
+    const auto values = wire::decodeW(*msg);
+    SSVSP_CHECK_MSG(values.has_value(), "FloodSet got a non-W message");
+    w_.insert(values->begin(), values->end());
+  }
+  if (useHaltSet_) {
+    // "for all pj from which no message has arrived do halt := halt + {pj}".
+    for (ProcessId j = 0; j < cfg_.n; ++j)
+      if (!received[static_cast<std::size_t>(j)].has_value()) halt_.insert(j);
+  }
+  return heard;
+}
+
+void FloodSet::transition(
+    const std::vector<std::optional<Payload>>& received) {
+  ++rounds_;
+  absorb(received);
+  if (rounds_ == cfg_.t + 1) {
+    SSVSP_CHECK(!w_.empty());
+    decision_ = *w_.begin();  // min(W)
+  }
+}
+
+std::string FloodSet::describeState() const {
+  std::ostringstream os;
+  os << (useHaltSet_ ? "FloodSetWS" : "FloodSet") << "{rounds=" << rounds_
+     << " W={";
+  bool first = true;
+  for (Value v : w_) {
+    os << (first ? "" : ",") << v;
+    first = false;
+  }
+  os << "} halt=" << halt_.toString() << "}";
+  return os.str();
+}
+
+RoundAutomatonFactory makeFloodSet() {
+  return [](ProcessId) { return std::make_unique<FloodSet>(false); };
+}
+
+RoundAutomatonFactory makeFloodSetWs() {
+  return [](ProcessId) { return std::make_unique<FloodSet>(true); };
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,57 @@
+// Wire formats shared by the uniform-consensus algorithms.
+//
+// Every algorithm message starts with a tag word:
+//   kTagW  — a FloodSet W set: [kTagW, |W|, v1..vk]  (sorted, deduplicated)
+//   kTagD  — a forced decision (Figure 3's "(D, decision)"): [kTagD, v]
+//   kTagV  — a bare value (A1's round-1/round-2 broadcasts): [kTagV, v]
+//   kTagP1 — A1's decision report "(p1, w)": [kTagP1, v]
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "util/serde.hpp"
+#include "util/types.hpp"
+
+namespace ssvsp::wire {
+
+inline constexpr std::int32_t kTagW = 1;
+inline constexpr std::int32_t kTagD = 2;
+inline constexpr std::int32_t kTagV = 3;
+inline constexpr std::int32_t kTagP1 = 4;
+
+inline Payload encodeW(const std::set<Value>& w) {
+  PayloadWriter out;
+  out.putInt(kTagW);
+  out.putValueList(std::vector<Value>(w.begin(), w.end()));
+  return std::move(out).take();
+}
+
+inline Payload encodeTagged(std::int32_t tag, Value v) {
+  PayloadWriter out;
+  out.putInt(tag);
+  out.putValue(v);
+  return std::move(out).take();
+}
+
+inline std::int32_t tagOf(const Payload& p) {
+  PayloadReader r(p);
+  return r.getInt();
+}
+
+/// Decodes a W-set message; empty optional if the tag does not match.
+inline std::optional<std::vector<Value>> decodeW(const Payload& p) {
+  PayloadReader r(p);
+  if (r.getInt() != kTagW) return std::nullopt;
+  return r.getValueList();
+}
+
+/// Decodes a [tag, v] message of the given tag.
+inline std::optional<Value> decodeTagged(std::int32_t tag, const Payload& p) {
+  PayloadReader r(p);
+  if (r.getInt() != tag) return std::nullopt;
+  return r.getValue();
+}
+
+}  // namespace ssvsp::wire

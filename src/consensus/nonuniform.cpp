@@ -1,0 +1,85 @@
+#include "consensus/nonuniform.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+void NonUniformEarlyFloodSet::transition(
+    const std::vector<std::optional<Payload>>& received) {
+  ++rounds_;
+  const ProcessSet heard = absorb(received);
+  if (decision_.has_value()) return;
+  // Non-uniform rule: f_r <= r - 1.  Fires at round f+1 (round 1 in
+  // failure-free runs); compare EarlyFloodSet's uniform-safe f_r <= r - 2.
+  const int observedFailures = cfg_.n - heard.size();
+  if (observedFailures <= rounds_ - 1 || rounds_ == cfg_.t + 1) {
+    SSVSP_CHECK(!w_.empty());
+    decision_ = *w_.begin();
+  }
+}
+
+std::string NonUniformEarlyFloodSet::describeState() const {
+  std::ostringstream os;
+  os << "NonUniform" << FloodSet::describeState();
+  return os.str();
+}
+
+RoundAutomatonFactory makeNonUniformEarlyFloodSet() {
+  return [](ProcessId) {
+    return std::make_unique<NonUniformEarlyFloodSet>();
+  };
+}
+
+ConsensusVerdict checkConsensus(const RoundRunResult& run) {
+  ConsensusVerdict v;
+  std::ostringstream witness;
+
+  // Agreement among CORRECT processes only.
+  std::optional<Value> first;
+  for (ProcessId p : run.correct) {
+    const auto& d = run.decision[static_cast<std::size_t>(p)];
+    if (!d.has_value()) continue;
+    if (!first.has_value()) {
+      first = d;
+    } else if (*first != *d) {
+      v.agreementAmongCorrect = false;
+      witness << "[agreement] correct processes decided " << *first << " and "
+              << *d << "; ";
+      break;
+    }
+  }
+
+  const bool unanimous =
+      std::all_of(run.initial.begin(), run.initial.end(),
+                  [&](Value x) { return x == run.initial.front(); });
+  for (ProcessId p = 0; p < run.cfg.n; ++p) {
+    const auto& d = run.decision[static_cast<std::size_t>(p)];
+    if (!d.has_value()) continue;
+    if (unanimous && *d != run.initial.front()) {
+      v.uniformValidity = false;
+      witness << "[validity] p" << p << " decided " << *d << "; ";
+    }
+    if (std::find(run.initial.begin(), run.initial.end(), *d) ==
+        run.initial.end()) {
+      v.decisionInProposals = false;
+      witness << "[proposal-validity] p" << p << " decided unproposed " << *d
+              << "; ";
+    }
+  }
+
+  for (ProcessId p : run.correct) {
+    if (!run.decision[static_cast<std::size_t>(p)].has_value()) {
+      v.termination = false;
+      witness << "[termination] correct p" << p << " undecided; ";
+      break;
+    }
+  }
+
+  v.witness = witness.str();
+  return v;
+}
+
+}  // namespace ssvsp

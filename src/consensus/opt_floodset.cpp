@@ -1,0 +1,127 @@
+#include "consensus/opt_floodset.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+void COptFloodSet::transition(
+    const std::vector<std::optional<Payload>>& received) {
+  ++rounds_;
+  const ProcessSet heard = absorb(received);
+  // Substituted decision rule (Section 5.2):
+  //   if rounds = 1 and a message has arrived from every process then
+  //     if |W| = 1 then decision := v where W = {v}
+  //   else if rounds = t+1 then decision := min(W)
+  // We additionally decide min(W) at round t+1 if the round-1 unanimity test
+  // was reached but failed (relevant only for t = 0, where the paper's
+  // literal chain would leave the process undecided).
+  if (rounds_ == 1 && heard.size() == cfg_.n && w_.size() == 1) {
+    decision_ = *w_.begin();
+  } else if (rounds_ == cfg_.t + 1 && !decision_.has_value()) {
+    SSVSP_CHECK(!w_.empty());
+    decision_ = *w_.begin();
+  }
+}
+
+std::string COptFloodSet::describeState() const {
+  return "C_Opt" + FloodSet::describeState();
+}
+
+void FOptFloodSet::begin(ProcessId self, const RoundConfig& cfg,
+                         Value initial) {
+  FloodSet::begin(self, cfg, initial);
+  decided_ = false;
+  decidedEarly_ = false;
+}
+
+std::optional<Payload> FOptFloodSet::messageFor(ProcessId /*dst*/) const {
+  // Figure 3 msgs_i: while rounds <= t, undecided processes flood W and
+  // decided processes force their decision with (D, decision).
+  if (rounds_ > cfg_.t) return std::nullopt;
+  if (decided_) return wire::encodeTagged(wire::kTagD, *decision_);
+  return wire::encodeW(w_);
+}
+
+void FOptFloodSet::transition(
+    const std::vector<std::optional<Payload>>& received) {
+  ++rounds_;
+
+  // Count arrivals before halt filtering: the paper's test is on the number
+  // of messages that arrived in round 1, and the halt set is empty then.
+  int arrived = 0;
+  for (const auto& m : received)
+    if (m.has_value()) ++arrived;
+
+  // Detect a forced decision among the (halt-filtered) messages.
+  std::optional<Value> forced;
+  for (ProcessId j = 0; j < cfg_.n; ++j) {
+    const auto& m = received[static_cast<std::size_t>(j)];
+    if (!m.has_value()) continue;
+    if (useHaltSet_ && halt_.contains(j)) continue;
+    if (auto v = wire::decodeTagged(wire::kTagD, *m)) {
+      SSVSP_CHECK_MSG(!forced.has_value() || *forced == *v,
+                      "conflicting forced decisions");
+      forced = v;
+    }
+  }
+
+  if (rounds_ == 1 && arrived == cfg_.n - cfg_.t && !decided_) {
+    // Round-1 fast path: the t silent processes are exactly the faulty set.
+    absorb(received);
+    SSVSP_CHECK(!w_.empty());
+    decision_ = *w_.begin();
+    decided_ = true;
+    decidedEarly_ = true;
+  } else if (forced.has_value() && !decided_) {
+    decision_ = forced;
+    decided_ = true;
+    // Maintain the halt set even on this path so later rounds stay filtered.
+    if (useHaltSet_)
+      for (ProcessId j = 0; j < cfg_.n; ++j)
+        if (!received[static_cast<std::size_t>(j)].has_value())
+          halt_.insert(j);
+  } else {
+    // Plain FloodSet round; (D, v) messages from decided peers carry no W
+    // values, so fold only the W-tagged ones.
+    for (ProcessId j = 0; j < cfg_.n; ++j) {
+      const auto& m = received[static_cast<std::size_t>(j)];
+      if (!m.has_value()) continue;
+      if (useHaltSet_ && halt_.contains(j)) continue;
+      if (auto values = wire::decodeW(*m))
+        w_.insert(values->begin(), values->end());
+    }
+    if (useHaltSet_)
+      for (ProcessId j = 0; j < cfg_.n; ++j)
+        if (!received[static_cast<std::size_t>(j)].has_value())
+          halt_.insert(j);
+  }
+
+  if (rounds_ == cfg_.t + 1 && !decided_) {
+    SSVSP_CHECK(!w_.empty());
+    decision_ = *w_.begin();
+    decided_ = true;
+  }
+}
+
+std::string FOptFloodSet::describeState() const {
+  std::ostringstream os;
+  os << "F_Opt" << FloodSet::describeState() << (decided_ ? " decided" : "");
+  return os.str();
+}
+
+RoundAutomatonFactory makeCOptFloodSet() {
+  return [](ProcessId) { return std::make_unique<COptFloodSet>(false); };
+}
+RoundAutomatonFactory makeCOptFloodSetWs() {
+  return [](ProcessId) { return std::make_unique<COptFloodSet>(true); };
+}
+RoundAutomatonFactory makeFOptFloodSet() {
+  return [](ProcessId) { return std::make_unique<FOptFloodSet>(false); };
+}
+RoundAutomatonFactory makeFOptFloodSetWs() {
+  return [](ProcessId) { return std::make_unique<FOptFloodSet>(true); };
+}
+
+}  // namespace ssvsp

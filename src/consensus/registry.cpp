@@ -1,0 +1,44 @@
+#include "consensus/registry.hpp"
+
+#include "consensus/a1.hpp"
+#include "consensus/early_floodset.hpp"
+#include "consensus/early_floodset_ws.hpp"
+#include "consensus/floodset.hpp"
+#include "consensus/nonuniform.hpp"
+#include "consensus/opt_floodset.hpp"
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+const std::vector<AlgorithmEntry>& algorithmRegistry() {
+  static const std::vector<AlgorithmEntry> kRegistry = {
+      {"FloodSet", RoundModel::kRs, "Fig. 1", false, makeFloodSet()},
+      {"FloodSetWS", RoundModel::kRws, "Fig. 2", false, makeFloodSetWs()},
+      {"C_OptFloodSet", RoundModel::kRs, "Sec. 5.2", false,
+       makeCOptFloodSet()},
+      {"C_OptFloodSetWS", RoundModel::kRws, "Sec. 5.2", false,
+       makeCOptFloodSetWs()},
+      {"F_OptFloodSet", RoundModel::kRs, "Fig. 3", false, makeFOptFloodSet()},
+      {"F_OptFloodSetWS", RoundModel::kRws, "Fig. 3 (WS)", false,
+       makeFOptFloodSetWs()},
+      {"A1", RoundModel::kRs, "Fig. 4", true, makeA1()},
+      {"A1WS_candidate", RoundModel::kRws, "Sec. 5.3 (candidate)", true,
+       makeA1WsCandidate()},
+      {"EarlyFloodSet", RoundModel::kRs, "ext ([7])", false,
+       makeEarlyFloodSet()},
+      {"EarlyFloodSetWS", RoundModel::kRws, "ext ([7], WS)", false,
+       makeEarlyFloodSetWs()},
+      {"NonUniformEarlyFloodSet", RoundModel::kRs, "Sec. 5.1 (non-uniform)",
+       false, makeNonUniformEarlyFloodSet()},
+  };
+  return kRegistry;
+}
+
+const AlgorithmEntry& algorithmByName(const std::string& name) {
+  for (const auto& e : algorithmRegistry())
+    if (e.name == name) return e;
+  SSVSP_CHECK_MSG(false, "unknown algorithm '" << name << "'");
+  __builtin_unreachable();
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,33 @@
+// Name-indexed registry of the uniform-consensus algorithms.
+//
+// The latency analyzers and benchmark binaries iterate over "all algorithms
+// of Section 5"; keeping the list in one place guarantees every table covers
+// the same set, in the paper's order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rounds/failure_script.hpp"
+#include "rounds/round_automaton.hpp"
+
+namespace ssvsp {
+
+struct AlgorithmEntry {
+  std::string name;
+  /// The model the algorithm is designed (and proved) for.
+  RoundModel intendedModel;
+  /// Figure or section of the paper introducing it; "ext" for extensions.
+  std::string paperRef;
+  /// Requires t <= 1 (A1 and its candidate repair).
+  bool requiresTLe1 = false;
+  RoundAutomatonFactory factory;
+};
+
+/// All registered algorithms, paper order.
+const std::vector<AlgorithmEntry>& algorithmRegistry();
+
+/// Lookup by name; throws InvariantViolation for unknown names.
+const AlgorithmEntry& algorithmByName(const std::string& name);
+
+}  // namespace ssvsp

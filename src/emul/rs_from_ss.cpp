@@ -1,0 +1,118 @@
+#include "emul/rs_from_ss.hpp"
+
+#include "util/check.hpp"
+#include "util/serde.hpp"
+
+namespace ssvsp {
+
+std::int64_t rsEmulationRoundEnd(int n, int phi, int delta, Round r) {
+  SSVSP_CHECK(n >= 1 && phi >= 1 && delta >= 1 && r >= 0);
+  std::int64_t e = 0;
+  for (Round i = 1; i <= r; ++i) {
+    const std::int64_t req = (e + n + 1) * phi + delta + 1;
+    // A round always contains at least its n send steps plus one step to
+    // apply the transition.
+    e = std::max(e + n + 1, req);
+  }
+  return e;
+}
+
+std::int64_t rsEmulationRoundSteps(int n, int phi, int delta, Round r) {
+  SSVSP_CHECK(r >= 1);
+  return rsEmulationRoundEnd(n, phi, delta, r) -
+         rsEmulationRoundEnd(n, phi, delta, r - 1);
+}
+
+RsEmulator::RsEmulator(std::unique_ptr<RoundAutomaton> inner, RoundConfig cfg,
+                       Value initial, int phi, int delta, Round maxRounds)
+    : inner_(std::move(inner)),
+      cfg_(cfg),
+      initial_(initial),
+      phi_(phi),
+      delta_(delta),
+      maxRounds_(maxRounds) {
+  SSVSP_CHECK(inner_ != nullptr);
+  SSVSP_CHECK(maxRounds >= 1);
+}
+
+void RsEmulator::start(ProcessId self, int n) {
+  SSVSP_CHECK(n == cfg_.n);
+  self_ = self;
+  inner_->begin(self, cfg_, initial_);
+}
+
+std::optional<Value> RsEmulator::output() const { return inner_->decision(); }
+
+void RsEmulator::onStep(StepContext& ctx) {
+  ++localStep_;
+
+  // Stash everything received, keyed by the sender's round tag.
+  for (const Envelope& e : ctx.received()) {
+    PayloadReader r(e.payload);
+    const Round round = r.getInt();
+    Payload body;
+    while (!r.exhausted()) body.push_back(r.getInt());
+    auto& slots = pending_[round];
+    if (slots.empty())
+      slots.assign(static_cast<std::size_t>(cfg_.n), std::nullopt);
+    SSVSP_CHECK_MSG(!slots[static_cast<std::size_t>(e.src)].has_value(),
+                    "duplicate round-" << round << " message from p" << e.src);
+    slots[static_cast<std::size_t>(e.src)] = std::move(body);
+  }
+
+  const Round round = roundsCompleted_ + 1;
+  if (round > maxRounds_) return;  // emulation horizon reached: idle
+
+  const std::int64_t roundStart =
+      rsEmulationRoundEnd(cfg_.n, phi_, delta_, round - 1);
+  const std::int64_t roundEnd =
+      rsEmulationRoundEnd(cfg_.n, phi_, delta_, round);
+  const std::int64_t offset = localStep_ - roundStart;  // 1-based in round
+  SSVSP_CHECK_MSG(offset >= 1 && localStep_ <= roundEnd,
+                  "emulation schedule desync at local step " << localStep_);
+
+  if (offset <= cfg_.n) {
+    // Send phase: one destination per step (the model's one-send-per-step).
+    const ProcessId dst = static_cast<ProcessId>(offset - 1);
+    if (std::optional<Payload> body = inner_->messageFor(dst)) {
+      PayloadWriter w;
+      w.putInt(round);
+      for (std::int32_t word : *body) w.putInt(word);
+      ctx.send(dst, std::move(w).take());
+    }
+  }
+
+  if (localStep_ == roundEnd) {
+    // Transition phase: by the padding derivation every round-`round`
+    // message addressed to us has arrived.
+    auto it = pending_.find(round);
+    std::vector<std::optional<Payload>> received =
+        it != pending_.end()
+            ? std::move(it->second)
+            : std::vector<std::optional<Payload>>(
+                  static_cast<std::size_t>(cfg_.n), std::nullopt);
+    if (it != pending_.end()) pending_.erase(it);
+    // A surviving entry for an older round would mean a message outlived its
+    // delivery deadline — the padding derivation rules that out.
+    SSVSP_CHECK_MSG(pending_.empty() || pending_.begin()->first > round,
+                    "round-" << pending_.begin()->first
+                             << " message arrived after its round at p"
+                             << self_);
+    inner_->transition(received);
+    ++roundsCompleted_;
+  }
+}
+
+AutomatonFactory emulateRsOnSs(const RoundAutomatonFactory& factory,
+                               RoundConfig cfg, std::vector<Value> initial,
+                               int phi, int delta, Round maxRounds) {
+  SSVSP_CHECK(static_cast<int>(initial.size()) == cfg.n);
+  return [factory, cfg, initial = std::move(initial), phi, delta,
+          maxRounds](ProcessId p) -> std::unique_ptr<Automaton> {
+    return std::make_unique<RsEmulator>(
+        factory(p), cfg, initial[static_cast<std::size_t>(p)], phi, delta,
+        maxRounds);
+  };
+}
+
+}  // namespace ssvsp

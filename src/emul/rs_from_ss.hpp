@@ -1,0 +1,82 @@
+// Emulation of the RS round model on the SS step-level model (paper §4.1).
+//
+// "In each round r, every process p_i executes n+k steps of the SS model.
+//  The first n steps are used to send real messages whereas in the k last
+//  steps, p_i sends null messages to make sure that, before moving to round
+//  r+1, p_i receives all messages sent to it by other processes in round r
+//  (k is a function of n, Delta, Phi and r)."
+//
+// Derivation of the padding.  Let E(r) be the local step at which a process
+// finishes round r (E(0) = 0); its round-r sends complete by local step
+// E(r-1) + n.  Process synchrony bounds relative speed: while q has taken s
+// steps in total, any other process has taken at most (s+1)*Phi steps (p
+// takes at most Phi steps inside each of the s+1 gaps around q's steps).
+// Message synchrony delivers a message by the receiver's first step at least
+// Delta GLOBAL steps after the send, during which the receiver takes at most
+// Delta local steps.  So when the slowest alive sender q completes its
+// round-r sends (local E(r-1)+n), the fastest receiver has taken at most
+// (E(r-1)+n+1)*Phi local steps, and at most Delta more may pass before
+// delivery is forced.  Requiring
+//
+//     E(r) >= (E(r-1) + n + 1) * Phi + Delta + 1
+//
+// guarantees every round-r message is received before the receiver's
+// round-r transition (its E(r)-th step).  For Phi = 1 the padding is the
+// constant k = Delta + 2; for Phi >= 2 it grows geometrically with r — an
+// emulation cost the bench E9 quantifies.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "rounds/round_automaton.hpp"
+#include "runtime/automaton.hpp"
+
+namespace ssvsp {
+
+/// Local step at which round r ends, per the recurrence above.
+std::int64_t rsEmulationRoundEnd(int n, int phi, int delta, Round r);
+
+/// Steps consumed by round r alone (n sends + padding k(n, Phi, Delta, r)).
+std::int64_t rsEmulationRoundSteps(int n, int phi, int delta, Round r);
+
+/// Wraps a RoundAutomaton as a step-level automaton implementing the
+/// schedule above.  Messages are tagged with their round; the transition for
+/// round r is applied at the round's final step, to exactly the round-r
+/// messages received so far (all of them, by the derivation — asserted).
+class RsEmulator : public Automaton {
+ public:
+  RsEmulator(std::unique_ptr<RoundAutomaton> inner, RoundConfig cfg,
+             Value initial, int phi, int delta, Round maxRounds);
+
+  void start(ProcessId self, int n) override;
+  void onStep(StepContext& ctx) override;
+  std::optional<Value> output() const override;
+
+  /// Rounds whose transition this process has executed.
+  Round roundsCompleted() const { return roundsCompleted_; }
+  const RoundAutomaton& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<RoundAutomaton> inner_;
+  RoundConfig cfg_;
+  Value initial_;
+  int phi_;
+  int delta_;
+  Round maxRounds_;
+
+  ProcessId self_ = kNoProcess;
+  std::int64_t localStep_ = 0;
+  Round roundsCompleted_ = 0;
+  /// Round-r messages received, keyed by round then sender.
+  std::map<Round, std::vector<std::optional<Payload>>> pending_;
+};
+
+/// Step-level factory running `factory`'s round automata under the
+/// emulation.
+AutomatonFactory emulateRsOnSs(const RoundAutomatonFactory& factory,
+                               RoundConfig cfg, std::vector<Value> initial,
+                               int phi, int delta, Round maxRounds);
+
+}  // namespace ssvsp

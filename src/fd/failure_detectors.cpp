@@ -1,0 +1,148 @@
+#include "fd/failure_detectors.hpp"
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+namespace {
+
+/// Deterministic per-(seed, observer, target, time) coin: the same query
+/// always returns the same answer, so a detector object is a well-defined
+/// history H, not a stream of fresh randomness.
+bool hashCoin(std::uint64_t seed, ProcessId p, ProcessId q, Time t,
+              double rate) {
+  std::uint64_t key = seed;
+  key = key * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(p) + 1;
+  key = key * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(q) + 1;
+  key = key * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(t) + 1;
+  SplitMix64 sm(key);
+  const double u =
+      static_cast<double>(sm.next() >> 11) * 0x1.0p-53;  // [0, 1)
+  return u < rate;
+}
+
+}  // namespace
+
+PerfectFailureDetector::PerfectFailureDetector(const FailurePattern& pattern,
+                                               Time defaultDelay)
+    : FailureDetectorBase(pattern), defaultDelay_(defaultDelay) {
+  SSVSP_CHECK_MSG(defaultDelay >= 0, "delay " << defaultDelay);
+}
+
+void PerfectFailureDetector::setDelay(ProcessId observer, ProcessId target,
+                                      Time delay) {
+  SSVSP_CHECK_MSG(delay >= 0, "delay " << delay);
+  SSVSP_CHECK(observer >= 0 && observer < pattern_.n());
+  SSVSP_CHECK(target >= 0 && target < pattern_.n());
+  delays_[{observer, target}] = delay;
+}
+
+void PerfectFailureDetector::randomizeDelays(Rng& rng, Time lo, Time hi) {
+  SSVSP_CHECK(0 <= lo && lo <= hi);
+  for (ProcessId p = 0; p < pattern_.n(); ++p)
+    for (ProcessId q = 0; q < pattern_.n(); ++q)
+      if (p != q) setDelay(p, q, rng.uniformInt(lo, hi));
+}
+
+Time PerfectFailureDetector::delay(ProcessId observer,
+                                   ProcessId target) const {
+  auto it = delays_.find({observer, target});
+  return it != delays_.end() ? it->second : defaultDelay_;
+}
+
+ProcessSet PerfectFailureDetector::suspectedAt(ProcessId p, Time t) {
+  ProcessSet out;
+  for (ProcessId q = 0; q < pattern_.n(); ++q) {
+    const Time crash = pattern_.crashTime(q);
+    if (crash == kNever) continue;  // strong accuracy: alive => not suspected
+    if (t >= crash + delay(p, q)) out.insert(q);
+  }
+  return out;
+}
+
+EventuallyPerfectFailureDetector::EventuallyPerfectFailureDetector(
+    const FailurePattern& pattern, Time gst, double falseSuspicionRate,
+    std::uint64_t seed, Time delayAfterGst)
+    : FailureDetectorBase(pattern),
+      gst_(gst),
+      rate_(falseSuspicionRate),
+      seed_(seed),
+      delayAfterGst_(delayAfterGst) {
+  SSVSP_CHECK(gst >= 0 && delayAfterGst >= 0);
+  SSVSP_CHECK(falseSuspicionRate >= 0.0 && falseSuspicionRate <= 1.0);
+}
+
+ProcessSet EventuallyPerfectFailureDetector::suspectedAt(ProcessId p, Time t) {
+  ProcessSet out;
+  for (ProcessId q = 0; q < pattern_.n(); ++q) {
+    if (q == p) continue;
+    const Time crash = pattern_.crashTime(q);
+    const bool crashed = crash != kNever && t >= crash;
+    if (crashed && t >= crash + delayAfterGst_) {
+      out.insert(q);  // strong completeness
+    } else if (!crashed && t < gst_ && hashCoin(seed_, p, q, t, rate_)) {
+      out.insert(q);  // pre-stabilization false suspicion
+    }
+  }
+  return out;
+}
+
+StrongFailureDetector::StrongFailureDetector(const FailurePattern& pattern,
+                                             ProcessId immune,
+                                             double falseSuspicionRate,
+                                             std::uint64_t seed)
+    : FailureDetectorBase(pattern),
+      immune_(immune),
+      rate_(falseSuspicionRate),
+      seed_(seed) {
+  SSVSP_CHECK(immune >= 0 && immune < pattern.n());
+  SSVSP_CHECK_MSG(pattern.crashTime(immune) == kNever,
+                  "weak accuracy requires an immune CORRECT process");
+  SSVSP_CHECK(falseSuspicionRate >= 0.0 && falseSuspicionRate <= 1.0);
+}
+
+ProcessSet StrongFailureDetector::suspectedAt(ProcessId p, Time t) {
+  ProcessSet out;
+  for (ProcessId q = 0; q < pattern_.n(); ++q) {
+    if (q == p || q == immune_) continue;
+    const Time crash = pattern_.crashTime(q);
+    if (crash != kNever && t >= crash) {
+      out.insert(q);  // strong completeness (delay 0)
+    } else if (hashCoin(seed_, p, q, t, rate_)) {
+      out.insert(q);  // weak accuracy permits this forever
+    }
+  }
+  return out;
+}
+
+EventuallyStrongFailureDetector::EventuallyStrongFailureDetector(
+    const FailurePattern& pattern, ProcessId immune, Time gst,
+    double falseSuspicionRate, std::uint64_t seed)
+    : FailureDetectorBase(pattern),
+      immune_(immune),
+      gst_(gst),
+      rate_(falseSuspicionRate),
+      seed_(seed) {
+  SSVSP_CHECK(immune >= 0 && immune < pattern.n());
+  SSVSP_CHECK(pattern.crashTime(immune) == kNever);
+  SSVSP_CHECK(gst >= 0);
+  SSVSP_CHECK(falseSuspicionRate >= 0.0 && falseSuspicionRate <= 1.0);
+}
+
+ProcessSet EventuallyStrongFailureDetector::suspectedAt(ProcessId p, Time t) {
+  ProcessSet out;
+  for (ProcessId q = 0; q < pattern_.n(); ++q) {
+    if (q == p) continue;
+    const Time crash = pattern_.crashTime(q);
+    if (crash != kNever && t >= crash) {
+      out.insert(q);
+      continue;
+    }
+    // Alive q: may be falsely suspected; the immune process only before gst.
+    if (q == immune_ && t >= gst_) continue;
+    if (hashCoin(seed_, p, q, t, rate_)) out.insert(q);
+  }
+  return out;
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,131 @@
+// Failure detectors (paper Sections 2.5-2.6; Chandra & Toueg, JACM 1996).
+//
+// A failure detector D maps each failure pattern F to a set of histories
+// H : Pi x T -> 2^Pi, where H(p, t) is the set of processes p's local module
+// suspects at time t.  Concrete detectors here are *adversary-parameterized*
+// history generators: given a pattern and adversary knobs (suspicion delays,
+// false-suspicion schedules) they produce one deterministic history, queried
+// through the FailureDetectorSource interface used by the executor.
+//
+// The classes implemented, by their axioms:
+//   P   (perfect)            strong completeness + strong accuracy
+//   <>P (eventually perfect) strong completeness + eventual strong accuracy
+//   S   (strong)             strong completeness + weak accuracy
+//   <>S (eventually strong)  strong completeness + eventual weak accuracy
+//
+// The key property the paper exploits: P's suspicion delay is FINITE BUT
+// UNBOUNDED.  PerfectFailureDetector therefore takes per-(observer, target)
+// delays as an adversary input, with no a-priori bound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "runtime/executor.hpp"
+#include "runtime/failure_pattern.hpp"
+#include "util/rng.hpp"
+
+namespace ssvsp {
+
+/// Common base: holds the pattern and answers history queries.
+class FailureDetectorBase : public FailureDetectorSource {
+ public:
+  explicit FailureDetectorBase(const FailurePattern& pattern)
+      : pattern_(pattern) {}
+
+  const FailurePattern& pattern() const { return pattern_; }
+
+ protected:
+  const FailurePattern& pattern_;
+};
+
+/// The perfect failure detector P.
+///
+/// Observer p suspects target q at time t iff q crashed at some time c <= t
+/// and t >= c + delay(p, q).  Delays are finite (completeness) and suspicion
+/// never precedes the crash (accuracy), but the adversary may make delays
+/// arbitrarily large — the exact power Theorem 3.1 needs.
+class PerfectFailureDetector : public FailureDetectorBase {
+ public:
+  /// All delays default to `defaultDelay` (0 = instantaneous detection).
+  explicit PerfectFailureDetector(const FailurePattern& pattern,
+                                  Time defaultDelay = 0);
+
+  /// Adversary knob: p first suspects q at time crashTime(q) + delay.
+  void setDelay(ProcessId observer, ProcessId target, Time delay);
+
+  /// Adversary knob: independent random delays in [lo, hi] for every pair.
+  void randomizeDelays(Rng& rng, Time lo, Time hi);
+
+  ProcessSet suspectedAt(ProcessId p, Time t) override;
+
+ private:
+  Time delay(ProcessId observer, ProcessId target) const;
+
+  Time defaultDelay_;
+  std::map<std::pair<ProcessId, ProcessId>, Time> delays_;
+};
+
+/// The eventually perfect failure detector <>P.
+///
+/// Before the (unknown to processes) stabilization time `gst`, modules may
+/// falsely suspect alive processes; from `gst` on the behaviour is exactly
+/// PerfectFailureDetector with the given delay.  False suspicions before gst
+/// are generated pseudo-randomly per (observer, target, time), so a given
+/// seed yields one deterministic history.
+class EventuallyPerfectFailureDetector : public FailureDetectorBase {
+ public:
+  EventuallyPerfectFailureDetector(const FailurePattern& pattern, Time gst,
+                                   double falseSuspicionRate,
+                                   std::uint64_t seed, Time delayAfterGst = 0);
+
+  ProcessSet suspectedAt(ProcessId p, Time t) override;
+
+  Time gst() const { return gst_; }
+
+ private:
+  Time gst_;
+  double rate_;
+  std::uint64_t seed_;
+  Time delayAfterGst_;
+};
+
+/// The strong failure detector S: strong completeness + weak accuracy
+/// (some correct process is never suspected by anyone).  The immune process
+/// is an adversary input; everyone else may be falsely suspected at
+/// pseudo-random times forever.
+class StrongFailureDetector : public FailureDetectorBase {
+ public:
+  StrongFailureDetector(const FailurePattern& pattern, ProcessId immune,
+                        double falseSuspicionRate, std::uint64_t seed);
+
+  ProcessSet suspectedAt(ProcessId p, Time t) override;
+
+  ProcessId immune() const { return immune_; }
+
+ private:
+  ProcessId immune_;
+  double rate_;
+  std::uint64_t seed_;
+};
+
+/// The eventually strong failure detector <>S: like S but weak accuracy only
+/// holds from time gst on.
+class EventuallyStrongFailureDetector : public FailureDetectorBase {
+ public:
+  EventuallyStrongFailureDetector(const FailurePattern& pattern,
+                                  ProcessId immune, Time gst,
+                                  double falseSuspicionRate,
+                                  std::uint64_t seed);
+
+  ProcessSet suspectedAt(ProcessId p, Time t) override;
+
+ private:
+  ProcessId immune_;
+  Time gst_;
+  double rate_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ssvsp

@@ -1,0 +1,107 @@
+#include "latency/latency.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "rounds/adversary.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ssvsp {
+
+std::string LatencyProfile::toString() const {
+  auto fmt = [](Round r) {
+    return r == kNoRound ? std::string("inf") : std::to_string(r);
+  };
+  std::ostringstream os;
+  os << "lat=" << fmt(lat) << " Lat=" << fmt(latMax)
+     << " Lambda=" << fmt(lambda);
+  for (const auto& [f, worst] : latByMaxCrashes)
+    os << " Lat(f<=" << f << ")=" << fmt(worst);
+  os << " runs=" << runsExecuted;
+  return os.str();
+}
+
+LatencyProfile measureLatency(const RoundAutomatonFactory& factory,
+                              const RoundConfig& cfg, RoundModel model,
+                              const LatencyOptions& options) {
+  const auto configs = allInitialConfigs(cfg.n, options.valueDomain);
+
+  RoundEngineOptions engineOpt;
+  engineOpt.horizon = options.enumeration.horizon + options.horizonSlack;
+  engineOpt.stopWhenAllDecided = true;
+
+  LatencyProfile profile;
+  // lat(A, C) per configuration index; latencies here are "min over runs",
+  // so start at kNoRound (no run seen yet).
+  std::vector<Round> minPerConfig(configs.size(), kNoRound);
+  // Worst |r| over runs with exactly k crashes.
+  std::map<int, Round> worstByExactCrashes;
+
+  auto absorbRun = [&](std::size_t configIdx, const FailureScript& script) {
+    const RoundRunResult run =
+        runRounds(cfg, model, factory, configs[configIdx], script, engineOpt);
+    ++profile.runsExecuted;
+    const Round lr = run.latency();
+
+    Round& cmin = minPerConfig[configIdx];
+    if (lr != kNoRound && (cmin == kNoRound || lr < cmin)) cmin = lr;
+
+    const int crashes = script.numCrashes();
+    auto [it, inserted] = worstByExactCrashes.try_emplace(crashes, lr);
+    if (!inserted) {
+      if (lr == kNoRound || it->second == kNoRound)
+        it->second = kNoRound;
+      else
+        it->second = std::max(it->second, lr);
+    }
+  };
+
+  if (options.exhaustive) {
+    forEachScript(cfg, model, options.enumeration,
+                  [&](const FailureScript& script) {
+                    for (std::size_t ci = 0; ci < configs.size(); ++ci)
+                      absorbRun(ci, script);
+                    return true;
+                  });
+  } else {
+    Rng rng(options.seed);
+    ScriptSampler sampler(cfg, model, options.enumeration.horizon);
+    // Always include the designed corner cases the paper's arguments use.
+    std::vector<FailureScript> scripts{noFailures()};
+    for (int k = 1; k <= cfg.t; ++k) scripts.push_back(initialCrashes(cfg.n, k));
+    for (int i = 0; i < options.samples; ++i)
+      scripts.push_back(sampler.sample(rng));
+    for (const auto& script : scripts)
+      for (std::size_t ci = 0; ci < configs.size(); ++ci)
+        absorbRun(ci, script);
+  }
+
+  // lat(A) = min over configs of lat(A, C);  Lat(A) = max over configs.
+  profile.latMax = 0;
+  for (Round cmin : minPerConfig) {
+    if (cmin != kNoRound && (profile.lat == kNoRound || cmin < profile.lat))
+      profile.lat = cmin;
+    if (cmin == kNoRound)
+      profile.latMax = kNoRound;  // some config never yields a deciding run
+    else if (profile.latMax != kNoRound)
+      profile.latMax = std::max(profile.latMax, cmin);
+  }
+
+  // Lat(A, f) = max over exact-crash buckets 0..f (monotone accumulation).
+  Round running = 0;
+  for (const auto& [crashes, worst] : worstByExactCrashes) {
+    if (worst == kNoRound || running == kNoRound)
+      running = kNoRound;
+    else
+      running = std::max(running, worst);
+    profile.latByMaxCrashes[crashes] = running;
+  }
+  const auto zero = profile.latByMaxCrashes.find(0);
+  profile.lambda = zero != profile.latByMaxCrashes.end() ? zero->second
+                                                         : kNoRound;
+  return profile;
+}
+
+}  // namespace ssvsp

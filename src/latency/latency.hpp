@@ -1,0 +1,56 @@
+// Latency-degree analyzers (paper Section 5.2).
+//
+// For a uniform consensus algorithm A in system S tolerating t crashes, and
+// |r| the number of rounds until all correct processes decide in run r:
+//
+//   lat(A)    = min |r| over ALL runs                      (Schiper [18])
+//   lat(A, C) = min |r| over runs starting from config C
+//   Lat(A)    = max over C of lat(A, C)
+//   Lat(A, f) = max |r| over runs with at most f crashes
+//   Lambda(A) = min over f of Lat(A, f) = Lat(A, 0)
+//               (the worst failure-free run — Lat(A, f) is monotone in f)
+//
+// The analyzer computes all of these by exhaustive enumeration over the
+// script space of src/mc crossed with all initial configurations over a
+// value domain, or by seeded sampling for larger systems.  Exhaustive mode
+// decides the paper's equalities (e.g. Lat(F_OptFloodSet) = 1) exactly for
+// the checked parameters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "mc/enumerator.hpp"
+#include "rounds/engine.hpp"
+
+namespace ssvsp {
+
+struct LatencyOptions {
+  EnumOptions enumeration;  ///< script space (exhaustive mode)
+  int valueDomain = 2;
+  bool exhaustive = true;
+  /// Sampling mode: number of scripts drawn and the seed.
+  int samples = 2000;
+  std::uint64_t seed = 1;
+  /// Extra engine rounds past the horizon so late decisions still happen.
+  int horizonSlack = 2;
+};
+
+struct LatencyProfile {
+  Round lat = kNoRound;     ///< lat(A)
+  Round latMax = kNoRound;  ///< Lat(A) = max_C lat(A, C)
+  Round lambda = kNoRound;  ///< Lambda(A) = Lat(A, 0)
+  /// Lat(A, f): worst |r| over runs with at most f crashes; kNoRound marks a
+  /// termination failure (an "infinite" latency).
+  std::map<int, Round> latByMaxCrashes;
+  std::int64_t runsExecuted = 0;
+
+  std::string toString() const;
+};
+
+LatencyProfile measureLatency(const RoundAutomatonFactory& factory,
+                              const RoundConfig& cfg, RoundModel model,
+                              const LatencyOptions& options);
+
+}  // namespace ssvsp

@@ -1,0 +1,86 @@
+#include "mc/checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+Round McReport::latUpToCrashes(int f) const {
+  Round worst = 0;
+  for (const auto& [crashes, lat] : worstLatencyByCrashes) {
+    if (crashes > f) continue;
+    if (lat == kNoRound) return kNoRound;
+    worst = std::max(worst, lat);
+  }
+  return worst;
+}
+
+std::string McReport::summary() const {
+  std::ostringstream os;
+  os << "scripts=" << scriptsVisited << " runs=" << runsExecuted
+     << " violations=" << violations.size();
+  for (const auto& [crashes, lat] : worstLatencyByCrashes) {
+    os << " Lat(f=" << crashes << ")=";
+    if (lat == kNoRound)
+      os << "inf";
+    else
+      os << lat;
+  }
+  return os.str();
+}
+
+McReport modelCheckConsensus(const RoundAutomatonFactory& factory,
+                             const RoundConfig& cfg, RoundModel model,
+                             const McCheckOptions& options) {
+  McReport report;
+  const auto configs = allInitialConfigs(cfg.n, options.valueDomain);
+
+  RoundEngineOptions engineOpt;
+  engineOpt.horizon = options.enumeration.horizon + options.horizonSlack;
+  // Decisions are final; stopping once every alive process decided is safe
+  // and makes exhaustive sweeps ~2x faster.
+  engineOpt.stopWhenAllDecided = true;
+
+  report.scriptsVisited = forEachScript(
+      cfg, model, options.enumeration, [&](const FailureScript& script) {
+        const int crashes = script.numCrashes();
+        for (const auto& initial : configs) {
+          const RoundRunResult run =
+              runRounds(cfg, model, factory, initial, script, engineOpt);
+          ++report.runsExecuted;
+
+          const UcVerdict verdict = checkUniformConsensus(run);
+          if (!verdict.ok() &&
+              static_cast<int>(report.violations.size()) <
+                  options.maxViolations) {
+            report.violations.push_back(
+                {initial, script, verdict, run.toString()});
+          }
+
+          const Round lat = run.latency();
+          if (static_cast<int>(report.violations.size()) >=
+              options.maxViolations)
+            return false;  // stop enumerating: the verdict is already clear
+
+          auto [wit, winserted] =
+              report.worstLatencyByCrashes.try_emplace(crashes, lat);
+          if (!winserted) {
+            if (lat == kNoRound || wit->second == kNoRound)
+              wit->second = kNoRound;
+            else
+              wit->second = std::max(wit->second, lat);
+          }
+          if (lat != kNoRound) {
+            auto [bit, binserted] =
+                report.bestLatencyByCrashes.try_emplace(crashes, lat);
+            if (!binserted) bit->second = std::min(bit->second, lat);
+          }
+        }
+        return true;
+      });
+  return report;
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,63 @@
+// Exhaustive model checking of uniform-consensus algorithms.
+//
+// modelCheckConsensus runs an algorithm against EVERY legal adversary script
+// (per EnumOptions) crossed with every initial configuration over a value
+// domain, verifies the uniform consensus specification on each run, and
+// aggregates latency statistics.  For small systems this decides the
+// paper's claims outright:
+//   * FloodSet is correct in RS, and incorrect in RWS (violations found);
+//   * FloodSetWS and F_OptFloodSetWS are correct in RWS (no violations);
+//   * A1 is correct in RS for t = 1 and has Lambda = 1;
+//   * no run of the RWS algorithms decides all correct processes in round 1
+//     of failure-free runs (the Lambda >= 2 separation of Section 5.3).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "mc/enumerator.hpp"
+#include "rounds/engine.hpp"
+#include "rounds/spec.hpp"
+
+namespace ssvsp {
+
+struct McViolation {
+  std::vector<Value> initial;
+  FailureScript script;
+  UcVerdict verdict;
+  std::string runDump;
+};
+
+struct McReport {
+  std::int64_t scriptsVisited = 0;
+  std::int64_t runsExecuted = 0;
+  std::vector<McViolation> violations;  ///< capped at maxViolations
+
+  /// Worst / best latency over all checked runs, keyed by the number of
+  /// crashes in the script.  Termination failures record kNoRound as worst.
+  std::map<int, Round> worstLatencyByCrashes;
+  std::map<int, Round> bestLatencyByCrashes;
+
+  bool ok() const { return violations.empty(); }
+
+  /// Lat(A, f) over the checked space: worst latency among runs with at most
+  /// f crashes (kNoRound if some such run fails termination).
+  Round latUpToCrashes(int f) const;
+
+  std::string summary() const;
+};
+
+struct McCheckOptions {
+  EnumOptions enumeration;
+  int valueDomain = 2;
+  int maxViolations = 4;
+  /// Extra engine rounds past the enumeration horizon, so that decisions
+  /// scheduled at t+1 still happen when crashes land late.
+  int horizonSlack = 2;
+};
+
+McReport modelCheckConsensus(const RoundAutomatonFactory& factory,
+                             const RoundConfig& cfg, RoundModel model,
+                             const McCheckOptions& options);
+
+}  // namespace ssvsp

@@ -1,0 +1,167 @@
+#include "mc/enumerator.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+namespace {
+
+/// A pending slot: one sent message of a dying sender that may legally go
+/// pending towards a surviving receiver.
+struct PendingSlot {
+  ProcessId src;
+  ProcessId dst;
+  Round round;
+};
+
+std::vector<PendingSlot> pendingSlots(const FailureScript& base,
+                                      const RoundConfig& cfg, int horizon) {
+  std::vector<PendingSlot> slots;
+  for (const auto& c : base.crashes) {
+    for (Round r = std::max(1, c.round - 1); r <= std::min(c.round, horizon);
+         ++r) {
+      for (ProcessId dst = 0; dst < cfg.n; ++dst) {
+        if (dst == c.p) continue;
+        if (r == c.round && !c.sendTo.contains(dst)) continue;  // never sent
+        // Unobservable: the receiver is crashed by the time the message
+        // could matter.
+        const Round dstCrash = base.crashRound(dst);
+        if (dstCrash <= r) continue;
+        slots.push_back({c.p, dst, r});
+      }
+    }
+  }
+  return slots;
+}
+
+struct Walker {
+  const RoundConfig& cfg;
+  RoundModel model;
+  const EnumOptions& options;
+  const std::function<bool(const FailureScript&)>* fn;  // null = count only
+  std::int64_t visited = 0;
+  bool stopped = false;
+
+  bool emit(const FailureScript& script) {
+    if (options.maxScripts >= 0 && visited >= options.maxScripts) {
+      stopped = true;
+      return false;
+    }
+    ++visited;
+    if (fn != nullptr && !(*fn)(script)) {
+      stopped = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// Enumerates pending combinations on top of a fixed crash assignment.
+  bool emitWithPendings(FailureScript& script) {
+    if (model == RoundModel::kRs || options.pendingLags.empty())
+      return emit(script);
+
+    const std::vector<PendingSlot> slots =
+        pendingSlots(script, cfg, options.horizon);
+    // Mixed-radix counter: option 0 = not pending, option k >= 1 = the k-th
+    // entry of the lag menu.
+    const int radix = 1 + static_cast<int>(options.pendingLags.size());
+    std::vector<int> digit(slots.size(), 0);
+    while (true) {
+      script.pendings.clear();
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (digit[i] == 0) continue;
+        const int lag = options.pendingLags[static_cast<std::size_t>(
+            digit[i] - 1)];
+        PendingChoice pc;
+        pc.src = slots[i].src;
+        pc.dst = slots[i].dst;
+        pc.round = slots[i].round;
+        pc.arrival = lag == 0 ? kNoRound : slots[i].round + lag;
+        script.pendings.push_back(pc);
+      }
+      if (!emit(script)) return false;
+      // Increment the counter.
+      std::size_t i = 0;
+      for (; i < digit.size(); ++i) {
+        if (++digit[i] < radix) break;
+        digit[i] = 0;
+      }
+      if (i == digit.size()) break;
+    }
+    script.pendings.clear();
+    return true;
+  }
+
+  /// Recursively assigns (round, sendTo) to each process of the crash set.
+  bool assignCrashes(FailureScript& script, const std::vector<ProcessId>& set,
+                     std::size_t idx) {
+    if (idx == set.size()) return emitWithPendings(script);
+    const std::uint64_t fullMask = ProcessSet::full(cfg.n).mask();
+    for (Round r = 1; r <= options.horizon; ++r) {
+      for (std::uint64_t mask = 0;; ++mask) {
+        script.crashes[idx] = {set[idx], r, ProcessSet::fromMask(mask)};
+        if (!assignCrashes(script, set, idx + 1)) return false;
+        if (mask == fullMask) break;
+      }
+    }
+    return true;
+  }
+
+  /// Recursively chooses the crash set (ascending ids to avoid duplicates).
+  bool chooseSet(std::vector<ProcessId>& set, ProcessId from) {
+    {
+      FailureScript script;
+      script.crashes.resize(set.size());
+      std::vector<ProcessId> copy = set;
+      if (!assignCrashes(script, copy, 0)) return false;
+    }
+    if (static_cast<int>(set.size()) >= options.maxCrashes) return true;
+    for (ProcessId p = from; p < cfg.n; ++p) {
+      set.push_back(p);
+      if (!chooseSet(set, p + 1)) return false;
+      set.pop_back();
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::int64_t forEachScript(
+    const RoundConfig& cfg, RoundModel model, const EnumOptions& options,
+    const std::function<bool(const FailureScript&)>& fn) {
+  SSVSP_CHECK(options.horizon >= 1);
+  SSVSP_CHECK(options.maxCrashes >= 0 && options.maxCrashes <= cfg.t);
+  Walker w{cfg, model, options, &fn};
+  std::vector<ProcessId> set;
+  w.chooseSet(set, 0);
+  return w.visited;
+}
+
+std::int64_t countScripts(const RoundConfig& cfg, RoundModel model,
+                          const EnumOptions& options) {
+  Walker w{cfg, model, options, nullptr};
+  std::vector<ProcessId> set;
+  w.chooseSet(set, 0);
+  return w.visited;
+}
+
+std::vector<std::vector<Value>> allInitialConfigs(int n, int domain) {
+  SSVSP_CHECK(n >= 1 && domain >= 1);
+  std::vector<std::vector<Value>> out;
+  std::vector<Value> cur(static_cast<std::size_t>(n), 0);
+  while (true) {
+    out.push_back(cur);
+    int i = 0;
+    for (; i < n; ++i) {
+      if (++cur[static_cast<std::size_t>(i)] < domain) break;
+      cur[static_cast<std::size_t>(i)] = 0;
+    }
+    if (i == n) break;
+  }
+  return out;
+}
+
+}  // namespace ssvsp

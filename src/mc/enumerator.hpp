@@ -1,0 +1,57 @@
+// Exhaustive enumeration of round-model adversaries.
+//
+// The paper's latency degrees and impossibility claims quantify over ALL
+// runs of a model.  For small systems we can decide such claims exactly by
+// enumerating every legal failure script up to a horizon:
+//
+//   * every crash set of size <= maxCrashes,
+//   * for each crashed process every (crash round, partial-send subset),
+//   * for RWS, every combination of pending choices for the messages of
+//     dying senders (the only senders weak round synchrony lets go pending
+//     towards surviving receivers), with arrivals drawn from a configurable
+//     lag menu (lag 0 = the message never surfaces within the horizon).
+//
+// Messages towards a receiver that is already crashed when they would arrive
+// are skipped: their delivery is unobservable, so skipping them prunes the
+// space without losing any behaviours.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rounds/failure_script.hpp"
+
+namespace ssvsp {
+
+struct EnumOptions {
+  int horizon = 3;
+  int maxCrashes = 1;
+  /// RWS pending arrival menu: for a message sent in round r, lag k > 0
+  /// means "surfaces in round r + k", lag 0 means "never surfaces within the
+  /// horizon".  Empty menu (or RS) disables pendings.  Every message of a
+  /// dying sender independently picks "not pending" or one of these lags.
+  std::vector<int> pendingLags;
+  /// Stop after this many scripts (-1 = unlimited).
+  std::int64_t maxScripts = -1;
+};
+
+/// Invokes fn on every legal script; fn returning false stops enumeration.
+/// Returns the number of scripts visited.
+std::int64_t forEachScript(const RoundConfig& cfg, RoundModel model,
+                           const EnumOptions& options,
+                           const std::function<bool(const FailureScript&)>& fn);
+
+/// Number of scripts forEachScript would visit (same traversal, no callback
+/// work) — used by benches to report state-space sizes.
+std::int64_t countScripts(const RoundConfig& cfg, RoundModel model,
+                          const EnumOptions& options);
+
+/// All length-n initial configurations over the value domain [0, domain).
+/// For agreement/validity properties of the algorithms in this library,
+/// domain = 2 is sufficient in the sense that violations, when they exist,
+/// already appear on binary configurations (they compare only the identity
+/// of values); larger domains are available for belt-and-braces sweeps.
+std::vector<std::vector<Value>> allInitialConfigs(int n, int domain);
+
+}  // namespace ssvsp

@@ -1,0 +1,85 @@
+#include "rounds/adversary.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+ScriptSampler::ScriptSampler(RoundConfig cfg, RoundModel model, int horizon,
+                             SamplerOptions options)
+    : cfg_(cfg), model_(model), horizon_(horizon), options_(options) {
+  SSVSP_CHECK(cfg.n >= 1 && cfg.t >= 0 && cfg.t < cfg.n);
+  SSVSP_CHECK(horizon >= 1);
+}
+
+FailureScript ScriptSampler::sample(Rng& rng) const {
+  FailureScript script;
+
+  const int crashes = options_.forcedCrashes >= 0
+                          ? options_.forcedCrashes
+                          : static_cast<int>(rng.uniformInt(0, cfg_.t));
+  SSVSP_CHECK(crashes <= cfg_.t);
+
+  std::vector<ProcessId> ids(static_cast<std::size_t>(cfg_.n));
+  for (ProcessId p = 0; p < cfg_.n; ++p) ids[static_cast<std::size_t>(p)] = p;
+  rng.shuffle(ids);
+
+  for (int i = 0; i < crashes; ++i) {
+    CrashEvent c;
+    c.p = ids[static_cast<std::size_t>(i)];
+    if (rng.bernoulli(options_.initialCrashProb)) {
+      c.round = 1;
+      c.sendTo = ProcessSet();
+    } else {
+      c.round = static_cast<Round>(rng.uniformInt(1, horizon_));
+      c.sendTo = ProcessSet::fromMask(rng.subsetMask(cfg_.n));
+    }
+    script.crashes.push_back(c);
+  }
+
+  if (model_ == RoundModel::kRws) {
+    // Pending candidates: messages sent by a dying sender in its crash round
+    // or the round before (weak round synchrony allows exactly those when
+    // the receiver survives).
+    for (const auto& c : script.crashes) {
+      for (Round r = std::max(1, c.round - 1); r <= c.round; ++r) {
+        for (ProcessId dst = 0; dst < cfg_.n; ++dst) {
+          if (dst == c.p) continue;
+          if (r == c.round && !c.sendTo.contains(dst)) continue;  // not sent
+          if (!rng.bernoulli(options_.pendingProb)) continue;
+          PendingChoice pc;
+          pc.src = c.p;
+          pc.dst = dst;
+          pc.round = r;
+          if (rng.bernoulli(options_.pendingLostProb) || r >= horizon_) {
+            pc.arrival = kNoRound;
+          } else {
+            pc.arrival = static_cast<Round>(
+                rng.uniformInt(r + 1, std::min(r + 2, horizon_)));
+          }
+          script.pendings.push_back(pc);
+        }
+      }
+    }
+  }
+
+  const ScriptValidity v = validateScript(script, cfg_, model_);
+  SSVSP_CHECK_MSG(v.ok, "sampler produced illegal script: " << v.reason);
+  return script;
+}
+
+FailureScript initialCrashes(int n, int k) {
+  SSVSP_CHECK(k >= 0 && k < n);
+  FailureScript script;
+  for (int i = 0; i < k; ++i) {
+    CrashEvent c;
+    c.p = n - 1 - i;
+    c.round = 1;
+    c.sendTo = ProcessSet();
+    script.crashes.push_back(c);
+  }
+  return script;
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,56 @@
+// Randomized adversaries for the round models.
+//
+// A ScriptSampler draws legal failure scripts for a given (model, n, t,
+// horizon).  It is the workhorse of the latency sweeps: the latency degrees
+// lat/Lat/Lambda are min/max over all runs, which we compute exactly by
+// enumeration for small systems (src/mc) and approximate by wide sampling
+// for larger ones.
+//
+// The sampler is deliberately biased towards the paper's interesting
+// corners: initial crashes (round 1, empty send set), partial broadcasts,
+// crash-just-after-deciding (round r, empty send set), and — for RWS —
+// pending messages from dying senders, which is precisely the behaviour
+// that separates the two models.
+#pragma once
+
+#include "rounds/failure_script.hpp"
+#include "util/rng.hpp"
+
+namespace ssvsp {
+
+struct SamplerOptions {
+  /// Probability that each eligible sent message of a dying sender is made
+  /// pending (RWS only).
+  double pendingProb = 0.5;
+  /// Probability that a pending message never surfaces within the horizon.
+  double pendingLostProb = 0.3;
+  /// Probability of forcing an "initial crash" (round 1, empty sendTo).
+  double initialCrashProb = 0.2;
+  /// Exact number of crashes; -1 draws uniformly from [0, t].
+  int forcedCrashes = -1;
+};
+
+class ScriptSampler {
+ public:
+  ScriptSampler(RoundConfig cfg, RoundModel model, int horizon,
+                SamplerOptions options = {});
+
+  /// Draws one legal script (validated before returning).
+  FailureScript sample(Rng& rng) const;
+
+ private:
+  RoundConfig cfg_;
+  RoundModel model_;
+  int horizon_;
+  SamplerOptions options_;
+};
+
+/// Script in which exactly `k` processes (the highest-numbered ones) crash
+/// initially: round 1, before sending anything.  Used by the Lat(F_Opt*) = 1
+/// experiments.
+FailureScript initialCrashes(int n, int k);
+
+/// The failure-free script.
+inline FailureScript noFailures() { return {}; }
+
+}  // namespace ssvsp

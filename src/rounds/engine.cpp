@@ -1,0 +1,190 @@
+#include "rounds/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+Round RoundRunResult::latency() const {
+  Round worst = 0;
+  for (ProcessId p : correct) {
+    const Round r = decisionRound[static_cast<std::size_t>(p)];
+    if (r == kNoRound) return kNoRound;
+    worst = std::max(worst, r);
+  }
+  return worst;
+}
+
+std::vector<Value> RoundRunResult::allDecisions() const {
+  std::vector<Value> out;
+  for (const auto& d : decision)
+    if (d.has_value()) out.push_back(*d);
+  return out;
+}
+
+std::string RoundRunResult::toString() const {
+  std::ostringstream os;
+  os << ssvsp::toString(model) << " n=" << cfg.n << " t=" << cfg.t << " init=[";
+  for (std::size_t i = 0; i < initial.size(); ++i)
+    os << (i ? "," : "") << initial[i];
+  os << "] " << script.toString() << " rounds=" << roundsExecuted << "\n";
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    os << "  p" << p << ": ";
+    const auto& d = decision[static_cast<std::size_t>(p)];
+    if (d.has_value())
+      os << "decided " << *d << " @r"
+         << decisionRound[static_cast<std::size_t>(p)];
+    else
+      os << "undecided";
+    if (faulty.contains(p)) os << " (faulty)";
+    os << '\n';
+  }
+  return os.str();
+}
+
+RoundRunResult runRounds(const RoundConfig& cfg, RoundModel model,
+                         const RoundAutomatonFactory& factory,
+                         const std::vector<Value>& initial,
+                         const FailureScript& script,
+                         const RoundEngineOptions& options) {
+  SSVSP_CHECK(cfg.n >= 1 && cfg.n <= kMaxProcs);
+  SSVSP_CHECK(static_cast<int>(initial.size()) == cfg.n);
+  SSVSP_CHECK(options.horizon >= 1);
+  const ScriptValidity validity = validateScript(script, cfg, model);
+  SSVSP_CHECK_MSG(validity.ok, "illegal script: " << validity.reason << " "
+                                                  << script.toString());
+
+  std::vector<std::unique_ptr<RoundAutomaton>> procs;
+  procs.reserve(static_cast<std::size_t>(cfg.n));
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    procs.push_back(factory(p));
+    SSVSP_CHECK(procs.back() != nullptr);
+    procs.back()->begin(p, cfg, initial[static_cast<std::size_t>(p)]);
+  }
+
+  RoundRunResult result;
+  result.cfg = cfg;
+  result.model = model;
+  result.initial = initial;
+  result.script = script;
+  result.decision.assign(static_cast<std::size_t>(cfg.n), std::nullopt);
+  result.decisionRound.assign(static_cast<std::size_t>(cfg.n), kNoRound);
+
+  struct InFlight {
+    ProcessId src;
+    Round sentRound;
+    Round arrival;  // first round in which it may be received
+    Payload payload;
+  };
+  std::vector<std::vector<InFlight>> inbox(static_cast<std::size_t>(cfg.n));
+
+  auto crashRound = [&](ProcessId p) { return script.crashRound(p); };
+
+  for (Round r = 1; r <= options.horizon; ++r) {
+    result.roundsExecuted = r;
+
+    // ---- send phase (msgs_i applied to the pre-round states) ----
+    for (ProcessId p = 0; p < cfg.n; ++p) {
+      const Round cr = crashRound(p);
+      if (cr < r) continue;  // already crashed: sends nothing
+      const bool crashingNow = (cr == r);
+      const ProcessSet sendTo = script.sendSubset(p, cfg.n);
+      for (ProcessId dst = 0; dst < cfg.n; ++dst) {
+        std::optional<Payload> msg =
+            procs[static_cast<std::size_t>(p)]->messageFor(dst);
+        if (!msg.has_value()) continue;
+        if (crashingNow && !sendTo.contains(dst)) continue;  // never sent
+        InFlight f;
+        f.src = p;
+        f.sentRound = r;
+        f.arrival = r;
+        if (const PendingChoice* pc = script.pendingFor(p, dst, r)) {
+          if (pc->arrival == kNoRound) continue;  // surfaces after the horizon
+          f.arrival = pc->arrival;
+        }
+        f.payload = std::move(*msg);
+        inbox[static_cast<std::size_t>(dst)].push_back(std::move(f));
+      }
+    }
+
+    // ---- receive + transition phase ----
+    for (ProcessId p = 0; p < cfg.n; ++p) {
+      const Round cr = crashRound(p);
+      if (cr <= r) {
+        // Crashed during (or before) this round: performs no transition and
+        // will never consume its inbox again.
+        inbox[static_cast<std::size_t>(p)].clear();
+        continue;
+      }
+      auto& box = inbox[static_cast<std::size_t>(p)];
+      // FIFO per sender: among deliverable messages (arrival <= r) pick the
+      // oldest per sender; the rest stay for later rounds.
+      std::vector<std::optional<Payload>> received(
+          static_cast<std::size_t>(cfg.n));
+      std::vector<std::size_t> taken;
+      for (ProcessId src = 0; src < cfg.n; ++src) {
+        std::size_t best = box.size();
+        for (std::size_t i = 0; i < box.size(); ++i) {
+          if (box[i].src != src || box[i].arrival > r) continue;
+          if (best == box.size() || box[i].sentRound < box[best].sentRound)
+            best = i;
+        }
+        if (best == box.size()) continue;
+        received[static_cast<std::size_t>(src)] = box[best].payload;
+        taken.push_back(best);
+        if (options.traceDeliveries) {
+          RoundDelivery d;
+          d.deliveredRound = r;
+          d.sentRound = box[best].sentRound;
+          d.src = src;
+          d.dst = p;
+          d.payload = box[best].payload;
+          result.deliveries.push_back(std::move(d));
+        }
+      }
+      std::sort(taken.begin(), taken.end());
+      for (auto it = taken.rbegin(); it != taken.rend(); ++it)
+        box.erase(box.begin() + static_cast<std::ptrdiff_t>(*it));
+
+      procs[static_cast<std::size_t>(p)]->transition(received);
+
+      const std::optional<Value> d =
+          procs[static_cast<std::size_t>(p)]->decision();
+      auto& slot = result.decision[static_cast<std::size_t>(p)];
+      if (d.has_value()) {
+        if (slot.has_value()) {
+          SSVSP_CHECK_MSG(*slot == *d, "p" << p << " changed its decision from "
+                                           << *slot << " to " << *d);
+        } else {
+          slot = d;
+          result.decisionRound[static_cast<std::size_t>(p)] = r;
+        }
+      } else {
+        SSVSP_CHECK_MSG(!slot.has_value(), "p" << p << " revoked its decision");
+      }
+    }
+
+    if (options.stopWhenAllDecided) {
+      bool allDone = true;
+      for (ProcessId p = 0; p < cfg.n; ++p) {
+        if (crashRound(p) <= r) continue;
+        if (!result.decision[static_cast<std::size_t>(p)].has_value()) {
+          allDone = false;
+          break;
+        }
+      }
+      // Keep executing while pending messages could still surface and change
+      // nothing — decisions are final, so stopping is safe.
+      if (allDone) break;
+    }
+  }
+
+  result.faulty = script.faultyWithin(options.horizon, cfg.n);
+  result.correct = ProcessSet::full(cfg.n) - result.faulty;
+  result.automata = std::move(procs);
+  return result;
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,88 @@
+// The RS / RWS round engines (paper Sections 4.1-4.3).
+//
+// Both models execute in lock-step rounds; each round every alive process
+// (1) emits the messages produced by msgs_i and (2) applies trans_i to the
+// vector of messages received.  The difference is delivery:
+//
+//   RS  — every message sent in round r to a process alive at the end of
+//         round r is received in round r.  The round synchrony property
+//         follows: silence from p_j implies p_j failed before sending.
+//
+//   RWS — the adversary (the failure script) may mark sent messages as
+//         pending; a pending round-r message is not received in round r and
+//         surfaces in a later round (or after the simulated horizon).  Weak
+//         round synchrony is enforced by script validation: silence from a
+//         sender implies the sender crashes by the end of the next round.
+//
+// Channels are FIFO and at most one message per (sender, receiver) pair is
+// delivered per round; if a pending message and a fresher one become
+// deliverable in the same round, the older is delivered and the fresher is
+// deferred — receivers cannot tell a late message from a current one, which
+// is exactly the ambiguity FloodSetWS's halt set exists to neutralize.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rounds/failure_script.hpp"
+#include "rounds/round_automaton.hpp"
+#include "util/process_set.hpp"
+
+namespace ssvsp {
+
+/// One delivered message, for trace inspection.
+struct RoundDelivery {
+  Round deliveredRound = 0;
+  Round sentRound = 0;
+  ProcessId src = kNoProcess;
+  ProcessId dst = kNoProcess;
+  Payload payload;
+};
+
+struct RoundRunResult {
+  RoundConfig cfg;
+  RoundModel model = RoundModel::kRs;
+  std::vector<Value> initial;
+  FailureScript script;
+  int roundsExecuted = 0;
+
+  std::vector<std::optional<Value>> decision;  ///< final decision per process
+  std::vector<Round> decisionRound;            ///< kNoRound if undecided
+
+  ProcessSet faulty;   ///< crashed within the horizon
+  ProcessSet correct;  ///< the rest
+
+  std::vector<RoundDelivery> deliveries;  ///< filled if tracing enabled
+
+  /// The automata in their final states, for white-box inspection
+  /// (describeState, algorithm-specific getters).  Makes the result
+  /// move-only.
+  std::vector<std::unique_ptr<RoundAutomaton>> automata;
+
+  /// Latency degree |r|: number of rounds until all correct processes have
+  /// decided; kNoRound if some correct process never decides in the prefix.
+  Round latency() const;
+
+  /// All decisions made (by correct and faulty processes alike).
+  std::vector<Value> allDecisions() const;
+
+  std::string toString() const;
+};
+
+struct RoundEngineOptions {
+  int horizon = 16;            ///< number of rounds to execute
+  bool traceDeliveries = false;
+  bool stopWhenAllDecided = true;  ///< stop early once every alive process decided
+};
+
+/// Executes one run.  Throws InvariantViolation if the script is not a legal
+/// adversary for the model (see validateScript) or if an automaton violates
+/// decision integrity (changes a made decision).
+RoundRunResult runRounds(const RoundConfig& cfg, RoundModel model,
+                         const RoundAutomatonFactory& factory,
+                         const std::vector<Value>& initial,
+                         const FailureScript& script,
+                         const RoundEngineOptions& options);
+
+}  // namespace ssvsp

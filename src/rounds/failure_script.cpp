@@ -1,0 +1,122 @@
+#include "rounds/failure_script.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+std::string toString(RoundModel model) {
+  return model == RoundModel::kRs ? "RS" : "RWS";
+}
+
+Round FailureScript::crashRound(ProcessId p) const {
+  for (const auto& c : crashes)
+    if (c.p == p) return c.round;
+  return kNoRound;
+}
+
+ProcessSet FailureScript::sendSubset(ProcessId p, int n) const {
+  for (const auto& c : crashes)
+    if (c.p == p) return c.sendTo;
+  return ProcessSet::full(n);
+}
+
+ProcessSet FailureScript::faultyWithin(Round horizon, int n) const {
+  ProcessSet out;
+  for (const auto& c : crashes)
+    if (c.round <= horizon && c.p >= 0 && c.p < n) out.insert(c.p);
+  return out;
+}
+
+const PendingChoice* FailureScript::pendingFor(ProcessId src, ProcessId dst,
+                                               Round round) const {
+  for (const auto& p : pendings)
+    if (p.src == src && p.dst == dst && p.round == round) return &p;
+  return nullptr;
+}
+
+std::string FailureScript::toString() const {
+  std::ostringstream os;
+  os << "script{";
+  for (const auto& c : crashes)
+    os << " crash(p" << c.p << "@r" << c.round << "->" << c.sendTo.toString()
+       << ")";
+  for (const auto& p : pendings) {
+    os << " pend(p" << p.src << "->p" << p.dst << "@r" << p.round << " arr=";
+    if (p.arrival == kNoRound)
+      os << "never";
+    else
+      os << "r" << p.arrival;
+    os << ")";
+  }
+  os << " }";
+  return os.str();
+}
+
+namespace {
+ScriptValidity invalid(std::string reason) {
+  ScriptValidity v;
+  v.ok = false;
+  v.reason = std::move(reason);
+  return v;
+}
+}  // namespace
+
+ScriptValidity validateScript(const FailureScript& script,
+                              const RoundConfig& cfg, RoundModel model) {
+  SSVSP_CHECK(cfg.n >= 1 && cfg.n <= kMaxProcs);
+  SSVSP_CHECK(cfg.t >= 0 && cfg.t < cfg.n);
+
+  if (static_cast<int>(script.crashes.size()) > cfg.t)
+    return invalid("more crashes than the resilience bound t");
+
+  ProcessSet seen;
+  for (const auto& c : script.crashes) {
+    if (c.p < 0 || c.p >= cfg.n) return invalid("crash of unknown process");
+    if (seen.contains(c.p)) return invalid("process crashes twice");
+    seen.insert(c.p);
+    if (c.round < 1) return invalid("crash round < 1");
+    if (!c.sendTo.isSubsetOf(ProcessSet::full(cfg.n)))
+      return invalid("sendTo outside Pi");
+  }
+
+  if (model == RoundModel::kRs) {
+    if (!script.pendings.empty())
+      return invalid("pending messages are impossible in RS");
+    return {};
+  }
+
+  for (const auto& p : script.pendings) {
+    if (p.src < 0 || p.src >= cfg.n || p.dst < 0 || p.dst >= cfg.n)
+      return invalid("pending names unknown process");
+    if (p.round < 1) return invalid("pending round < 1");
+    if (p.arrival != kNoRound && p.arrival <= p.round)
+      return invalid("pending arrival not after its send round");
+
+    // The message must actually be sent.
+    const Round srcCrash = script.crashRound(p.src);
+    if (srcCrash < p.round)
+      return invalid("pending message from an already-crashed sender");
+    if (srcCrash == p.round && !script.sendSubset(p.src, cfg.n).contains(p.dst))
+      return invalid("pending message was never sent (outside sendTo)");
+
+    // Weak round synchrony: if dst is alive at the end of round p.round,
+    // src must crash by the end of round p.round + 1.
+    const Round dstCrash = script.crashRound(p.dst);
+    const bool dstAliveAtEnd = dstCrash == kNoRound || dstCrash > p.round;
+    if (dstAliveAtEnd && !(srcCrash != kNoRound && srcCrash <= p.round + 1))
+      return invalid(
+          "weak round synchrony violated: receiver survives round but sender "
+          "does not crash by the next round");
+
+    // Duplicate pending entries for the same message are ambiguous.
+    int count = 0;
+    for (const auto& q : script.pendings)
+      if (q.src == p.src && q.dst == p.dst && q.round == p.round) ++count;
+    if (count > 1) return invalid("duplicate pending entry");
+  }
+  return {};
+}
+
+}  // namespace ssvsp

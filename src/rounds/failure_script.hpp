@@ -1,0 +1,94 @@
+// Failure scripts: the adversary's choices in one round-based run.
+//
+// A script fixes, for a run of at most `horizon` rounds:
+//   * which processes crash, in which round, and the subset of destinations
+//     their final partial broadcast reaches (RS and RWS);
+//   * which sent messages become "pending" — sent in round r but not
+//     received in round r — and the round in which they finally surface
+//     (RWS only).
+//
+// The RWS constraint is the paper's weak round synchrony property: if the
+// receiver is alive at the end of round r and does not receive the round-r
+// message of p_j, then p_j crashes by the end of round r+1.  validate()
+// rejects any script that would break it, as well as scripts marking
+// never-sent messages as pending, so engines only ever execute runs that
+// belong to the model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rounds/round_automaton.hpp"
+#include "util/process_set.hpp"
+#include "util/types.hpp"
+
+namespace ssvsp {
+
+enum class RoundModel {
+  kRs,   ///< synchronous rounds (round synchrony property)
+  kRws,  ///< weakly synchronous rounds (pending messages allowed)
+};
+
+std::string toString(RoundModel model);
+
+/// p crashes *during* round `round`: its round-`round` broadcast reaches
+/// exactly `sendTo`, and it performs no transition in that round or later.
+/// "Decided then crashed silently" is expressed as a crash in the following
+/// round with an empty sendTo.
+struct CrashEvent {
+  ProcessId p = kNoProcess;
+  Round round = 1;
+  ProcessSet sendTo;
+};
+
+/// The round-`round` message from src to dst is sent but not received in
+/// round `round`; it surfaces in round `arrival` (> round), or never within
+/// the horizon if arrival == kNoRound (legal: delivery is still "eventual",
+/// merely after the simulated prefix — or the receiver is faulty).
+struct PendingChoice {
+  ProcessId src = kNoProcess;
+  ProcessId dst = kNoProcess;
+  Round round = 1;
+  Round arrival = kNoRound;
+};
+
+struct FailureScript {
+  std::vector<CrashEvent> crashes;
+  std::vector<PendingChoice> pendings;
+
+  /// Round in which p crashes, or kNoRound.
+  Round crashRound(ProcessId p) const;
+
+  /// Send subset of p's crash round (full set if p does not crash).
+  ProcessSet sendSubset(ProcessId p, int n) const;
+
+  /// Processes that crash within the horizon.
+  ProcessSet faultyWithin(Round horizon, int n) const;
+
+  int numCrashes() const { return static_cast<int>(crashes.size()); }
+
+  /// True iff the round-r message src->dst is marked pending.
+  const PendingChoice* pendingFor(ProcessId src, ProcessId dst,
+                                  Round round) const;
+
+  std::string toString() const;
+};
+
+struct ScriptValidity {
+  bool ok = true;
+  std::string reason;
+};
+
+/// Checks that the script is a legal adversary for the given model:
+///   * at most cfg.t crashes, each process at most once, rounds >= 1;
+///   * sendTo within Pi;
+///   * RS: no pendings;
+///   * RWS: each pending names a message that is actually sent (the sender
+///     is alive at the start of that round and, in its crash round, includes
+///     dst in sendTo), arrival strictly later than the send round, and weak
+///     round synchrony holds: if dst survives past round r, src crashes by
+///     round r+1.
+ScriptValidity validateScript(const FailureScript& script,
+                              const RoundConfig& cfg, RoundModel model);
+
+}  // namespace ssvsp

@@ -1,0 +1,58 @@
+// Round-based algorithms (paper Section 4).
+//
+// In both RS and RWS the code of a process is given by a state set, a
+// message-generation function msgs_i : states x Pi -> message, and a state
+// transition function trans_i : states x message-vector -> states.  Each
+// round, every alive process first emits its messages, then applies trans_i
+// to the vector of messages it received (indexed by sender).
+//
+// RoundAutomaton is the executable form of (states_i, msgs_i, trans_i).
+// Implementations must be deterministic; the engines and the model checker
+// rely on replayability.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/serde.hpp"
+#include "util/types.hpp"
+
+namespace ssvsp {
+
+/// Static parameters of a round-based execution.
+struct RoundConfig {
+  int n = 0;  ///< number of processes
+  int t = 0;  ///< resilience: maximum number of crashes tolerated
+};
+
+class RoundAutomaton {
+ public:
+  virtual ~RoundAutomaton() = default;
+
+  /// Installs the initial state (paper: "initially ..." clauses).
+  virtual void begin(ProcessId self, const RoundConfig& cfg, Value initial) = 0;
+
+  /// msgs_i: the message this process sends to `dst` in the current round;
+  /// nullopt encodes the null message.  Called once per destination per
+  /// round, before any transition of that round.
+  virtual std::optional<Payload> messageFor(ProcessId dst) const = 0;
+
+  /// trans_i: applies the transition for the current round.  received[j]
+  /// holds the message received from p_j this round (nullopt if none).
+  virtual void transition(
+      const std::vector<std::optional<Payload>>& received) = 0;
+
+  /// The irrevocable decision, if one has been reached.
+  virtual std::optional<Value> decision() const = 0;
+
+  /// Optional human-readable state dump for diagnostics.
+  virtual std::string describeState() const { return {}; }
+};
+
+using RoundAutomatonFactory =
+    std::function<std::unique_ptr<RoundAutomaton>(ProcessId)>;
+
+}  // namespace ssvsp

@@ -1,0 +1,70 @@
+#include "rounds/spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ssvsp {
+
+UcVerdict checkUniformConsensus(const RoundRunResult& run) {
+  UcVerdict v;
+  std::ostringstream witness;
+
+  // Uniform agreement: over ALL deciders, including crashed ones.
+  std::optional<Value> first;
+  for (ProcessId p = 0; p < run.cfg.n; ++p) {
+    const auto& d = run.decision[static_cast<std::size_t>(p)];
+    if (!d.has_value()) continue;
+    if (!first.has_value()) {
+      first = d;
+    } else if (*first != *d) {
+      v.uniformAgreement = false;
+      witness << "[agreement] decisions " << *first << " and " << *d
+              << " coexist (p" << p << "); ";
+      break;
+    }
+  }
+
+  // Uniform validity.
+  const bool unanimous =
+      std::all_of(run.initial.begin(), run.initial.end(),
+                  [&](Value x) { return x == run.initial.front(); });
+  if (unanimous) {
+    for (ProcessId p = 0; p < run.cfg.n; ++p) {
+      const auto& d = run.decision[static_cast<std::size_t>(p)];
+      if (d.has_value() && *d != run.initial.front()) {
+        v.uniformValidity = false;
+        witness << "[validity] unanimous " << run.initial.front()
+                << " but p" << p << " decided " << *d << "; ";
+        break;
+      }
+    }
+  }
+
+  // Stronger check: every decision is some process's proposal.
+  for (ProcessId p = 0; p < run.cfg.n; ++p) {
+    const auto& d = run.decision[static_cast<std::size_t>(p)];
+    if (!d.has_value()) continue;
+    if (std::find(run.initial.begin(), run.initial.end(), *d) ==
+        run.initial.end()) {
+      v.decisionInProposals = false;
+      witness << "[proposal-validity] p" << p << " decided " << *d
+              << " which nobody proposed; ";
+      break;
+    }
+  }
+
+  // Termination within the horizon.
+  for (ProcessId p : run.correct) {
+    if (!run.decision[static_cast<std::size_t>(p)].has_value()) {
+      v.termination = false;
+      witness << "[termination] correct p" << p << " undecided after "
+              << run.roundsExecuted << " rounds; ";
+      break;
+    }
+  }
+
+  v.witness = witness.str();
+  return v;
+}
+
+}  // namespace ssvsp

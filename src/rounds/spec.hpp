@@ -1,0 +1,37 @@
+// Uniform consensus specification checker (paper Section 5.1).
+//
+// Uniform validity    — if all processes start with the same value v, then v
+//                       is the only possible decision value.
+// Uniform agreement   — no two processes (correct or faulty) decide
+//                       differently.
+// Termination         — all correct processes eventually decide (here: by
+//                       the simulated horizon, which callers choose >= the
+//                       algorithm's worst case).
+//
+// The checker additionally reports a stronger validity condition satisfied
+// by every algorithm in this library ("decisions are proposals"), useful for
+// catching corrupted state even in runs with mixed initial values.
+#pragma once
+
+#include <string>
+
+#include "rounds/engine.hpp"
+
+namespace ssvsp {
+
+struct UcVerdict {
+  bool uniformAgreement = true;
+  bool uniformValidity = true;
+  bool decisionInProposals = true;
+  bool termination = true;
+  std::string witness;
+
+  bool ok() const {
+    return uniformAgreement && uniformValidity && decisionInProposals &&
+           termination;
+  }
+};
+
+UcVerdict checkUniformConsensus(const RoundRunResult& run);
+
+}  // namespace ssvsp

@@ -1,0 +1,88 @@
+// Process automata for the step-level models (paper Section 2.2).
+//
+// An algorithm A is a collection of n deterministic automata.  In each step
+// a process atomically (1) receives a possibly-empty set of messages,
+// (2) changes its state, and (3) may send one message to a single process.
+// In models with failure detectors the step additionally carries the value
+// returned by the local failure-detector module (paper Section 2.5).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/message.hpp"
+#include "util/check.hpp"
+#include "util/process_set.hpp"
+#include "util/types.hpp"
+
+namespace ssvsp {
+
+/// Everything an automaton may observe and do during one step.
+class StepContext {
+ public:
+  StepContext(ProcessId self, std::int64_t localStep,
+              const std::vector<Envelope>& received, ProcessSet suspected)
+      : self_(self),
+        localStep_(localStep),
+        received_(received),
+        suspected_(suspected) {}
+
+  ProcessId self() const { return self_; }
+
+  /// 1-based count of steps this process has taken, including this one.
+  /// This is local knowledge (a process may count its own steps); it is NOT
+  /// the global time, which processes cannot read.
+  std::int64_t localStep() const { return localStep_; }
+
+  /// Messages received in this step.
+  const std::vector<Envelope>& received() const { return received_; }
+
+  /// Failure-detector output for this step (empty set in models without a
+  /// failure detector).
+  ProcessSet suspected() const { return suspected_; }
+
+  /// Sends one message to one destination.  Per the paper's step semantics a
+  /// process sends at most one message per step; a second call throws.
+  void send(ProcessId dst, Payload payload) {
+    SSVSP_CHECK_MSG(!outgoing_.has_value(),
+                    "p" << self_ << " sent twice in one step");
+    SSVSP_CHECK_MSG(dst >= 0 && dst < kMaxProcs, "bad destination " << dst);
+    Envelope e;
+    e.src = self_;
+    e.dst = dst;
+    e.payload = std::move(payload);
+    outgoing_ = std::move(e);
+  }
+
+  /// The message sent in this step, if any (consumed by the executor).
+  const std::optional<Envelope>& outgoing() const { return outgoing_; }
+
+ private:
+  ProcessId self_;
+  std::int64_t localStep_;
+  const std::vector<Envelope>& received_;
+  ProcessSet suspected_;
+  std::optional<Envelope> outgoing_;
+};
+
+/// A deterministic per-process automaton.
+class Automaton {
+ public:
+  virtual ~Automaton() = default;
+
+  /// Called once before the first step with the process id and system size.
+  virtual void start(ProcessId self, int n) = 0;
+
+  /// Executes one atomic step.
+  virtual void onStep(StepContext& ctx) = 0;
+
+  /// The process's irrevocable output (decision), if it has produced one.
+  virtual std::optional<Value> output() const = 0;
+};
+
+/// Factory producing the automaton that runs on each process.
+using AutomatonFactory = std::function<std::unique_ptr<Automaton>(ProcessId)>;
+
+}  // namespace ssvsp

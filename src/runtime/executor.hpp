@@ -1,0 +1,93 @@
+// The step-level run executor.
+//
+// Produces runs <F, C0, S, T> of an algorithm: the failure pattern F is an
+// input, C0 is fixed by the automaton factory, the schedule S is produced by
+// a StepScheduler, the time list T is the step index sequence, and message
+// receipt is governed by a DeliveryPolicy.  Models are obtained by choosing
+// the components:
+//   asynchronous        — any scheduler + any (eventual) delivery policy
+//   SS  (synchronous)   — a scheduler respecting Phi + delivery within Delta
+//   SP  (async + P)     — any scheduler/delivery + a PerfectFailureDetector
+// The executor itself enforces only the base-model rules (crashed processes
+// take no step, at most one send per step); synchrony is checked post-hoc by
+// the checkers in src/sync.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/automaton.hpp"
+#include "runtime/delivery.hpp"
+#include "runtime/failure_pattern.hpp"
+#include "runtime/schedulers.hpp"
+#include "runtime/trace.hpp"
+#include "util/types.hpp"
+
+namespace ssvsp {
+
+/// Interface through which the executor queries a failure-detector module.
+/// Implementations live in src/fd; this narrow interface breaks the
+/// dependency cycle (fd implementations need FailurePattern from runtime).
+class FailureDetectorSource {
+ public:
+  virtual ~FailureDetectorSource() = default;
+  /// H(p, t): the set of processes that p's module suspects at time t.
+  virtual ProcessSet suspectedAt(ProcessId p, Time t) = 0;
+};
+
+struct ExecutorConfig {
+  int n = 0;
+  /// Safety valve: the executor stops after this many global steps even if
+  /// the stop predicate never fires.
+  std::int64_t maxSteps = 200000;
+};
+
+class Executor {
+ public:
+  /// The scheduler, delivery policy, and failure detector are borrowed; the
+  /// caller keeps them alive for the executor's lifetime (they are typically
+  /// stack objects in a test or bench).
+  Executor(ExecutorConfig config, const AutomatonFactory& factory,
+           FailurePattern pattern, StepScheduler& scheduler,
+           DeliveryPolicy& delivery, FailureDetectorSource* fd = nullptr);
+
+  /// Predicate evaluated after every step; returning true stops the run.
+  using StopPredicate = std::function<bool(const Executor&)>;
+
+  /// Executes steps until the predicate fires, the scheduler yields
+  /// kNoProcess, or maxSteps is reached.  Returns the recorded trace.
+  RunTrace run(const StopPredicate& stopWhen = nullptr);
+
+  int n() const { return config_.n; }
+  const FailurePattern& pattern() const { return pattern_; }
+
+  /// Decision of process p, if any (live query during a stop predicate).
+  std::optional<Value> output(ProcessId p) const;
+
+  /// True iff every correct (per the failure pattern) process has decided.
+  bool allCorrectDecided() const;
+
+  /// Number of local steps p has taken so far.
+  std::int64_t localSteps(ProcessId p) const;
+
+  /// Read access to the automaton running on p (for white-box tests).
+  const Automaton& automaton(ProcessId p) const;
+
+ private:
+  SchedulerView makeView(Time now, std::int64_t globalStep) const;
+
+  ExecutorConfig config_;
+  FailurePattern pattern_;
+  StepScheduler& scheduler_;
+  DeliveryPolicy& delivery_;
+  FailureDetectorSource* fd_;
+
+  std::vector<std::unique_ptr<Automaton>> procs_;
+  std::vector<std::vector<BufferedMessage>> buffers_;
+  std::vector<std::int64_t> localSteps_;
+  std::int64_t nextSeq_ = 1;
+};
+
+}  // namespace ssvsp

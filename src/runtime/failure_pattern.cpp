@@ -1,0 +1,48 @@
+#include "runtime/failure_pattern.hpp"
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+FailurePattern::FailurePattern(int n) {
+  SSVSP_CHECK_MSG(n >= 1 && n <= kMaxProcs, "n = " << n);
+  crashTime_.assign(static_cast<std::size_t>(n), kNever);
+}
+
+void FailurePattern::checkId(ProcessId p) const {
+  SSVSP_CHECK_MSG(p >= 0 && p < n(), "process id " << p << " out of [0," << n()
+                                                   << ")");
+}
+
+void FailurePattern::setCrash(ProcessId p, Time t) {
+  checkId(p);
+  SSVSP_CHECK_MSG(t >= 0, "crash time " << t);
+  SSVSP_CHECK_MSG(t <= crashTime_[static_cast<std::size_t>(p)],
+                  "crash time for p" << p << " moved later (no recovery)");
+  crashTime_[static_cast<std::size_t>(p)] = t;
+}
+
+Time FailurePattern::crashTime(ProcessId p) const {
+  checkId(p);
+  return crashTime_[static_cast<std::size_t>(p)];
+}
+
+ProcessSet FailurePattern::crashedBy(Time t) const {
+  ProcessSet s;
+  for (ProcessId p = 0; p < n(); ++p)
+    if (crashTime_[static_cast<std::size_t>(p)] <= t) s.insert(p);
+  return s;
+}
+
+ProcessSet FailurePattern::faulty() const {
+  ProcessSet s;
+  for (ProcessId p = 0; p < n(); ++p)
+    if (crashTime_[static_cast<std::size_t>(p)] != kNever) s.insert(p);
+  return s;
+}
+
+ProcessSet FailurePattern::correct() const {
+  return ProcessSet::full(n()) - faulty();
+}
+
+}  // namespace ssvsp

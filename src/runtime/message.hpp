@@ -1,0 +1,25 @@
+// Message envelopes for the step-level simulators.
+#pragma once
+
+#include <cstdint>
+
+#include "util/serde.hpp"
+#include "util/types.hpp"
+
+namespace ssvsp {
+
+/// A message in flight (or delivered).  `seq` is a globally unique id,
+/// assigned in send order, which gives channels a FIFO identity and lets
+/// adversarial delivery policies name individual messages.
+struct Envelope {
+  std::int64_t seq = 0;
+  ProcessId src = kNoProcess;
+  ProcessId dst = kNoProcess;
+  Payload payload;
+  /// Global schedule index of the sending step (the paper's "k-th step").
+  std::int64_t sentStep = 0;
+  /// Global time at which the send occurred.
+  Time sentTime = 0;
+};
+
+}  // namespace ssvsp

@@ -1,0 +1,65 @@
+#include "runtime/schedulers.hpp"
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+ProcessId RoundRobinScheduler::nextStep(const SchedulerView& view) {
+  if (view.alive.empty()) return kNoProcess;
+  for (int tries = 0; tries < n_; ++tries) {
+    ProcessId p = cursor_;
+    cursor_ = (cursor_ + 1) % n_;
+    if (view.alive.contains(p)) return p;
+  }
+  return kNoProcess;
+}
+
+RandomScheduler::RandomScheduler(int n, Rng rng)
+    : n_(n), rng_(rng), weight_(static_cast<std::size_t>(n), 1.0) {}
+
+void RandomScheduler::setWeight(ProcessId p, double w) {
+  SSVSP_CHECK(p >= 0 && p < n_ && w >= 0.0);
+  weight_[static_cast<std::size_t>(p)] = w;
+}
+
+ProcessId RandomScheduler::nextStep(const SchedulerView& view) {
+  double total = 0.0;
+  for (ProcessId p : view.alive) total += weight_[static_cast<std::size_t>(p)];
+  if (total <= 0.0) {
+    // All alive processes have weight 0: fall back to uniform so the run can
+    // still make progress (fairness requires correct processes to step).
+    if (view.alive.empty()) return kNoProcess;
+    int k = static_cast<int>(rng_.index(
+        static_cast<std::size_t>(view.alive.size())));
+    for (ProcessId p : view.alive)
+      if (k-- == 0) return p;
+    return kNoProcess;
+  }
+  double pick = rng_.uniformReal() * total;
+  for (ProcessId p : view.alive) {
+    pick -= weight_[static_cast<std::size_t>(p)];
+    if (pick <= 0.0) return p;
+  }
+  // Floating-point tail: return the last alive process.
+  ProcessId last = kNoProcess;
+  for (ProcessId p : view.alive) last = p;
+  return last;
+}
+
+ScriptedScheduler::ScriptedScheduler(int n, std::vector<ProcessId> script,
+                                     bool fallback)
+    : n_(n), script_(std::move(script)), fallback_(fallback), rr_(n) {}
+
+ProcessId ScriptedScheduler::nextStep(const SchedulerView& view) {
+  while (pos_ < script_.size()) {
+    ProcessId p = script_[pos_++];
+    SSVSP_CHECK_MSG(p >= 0 && p < n_, "scripted pid " << p);
+    // A scripted step for a crashed process is skipped (crashes may be
+    // injected mid-script by failure patterns).
+    if (view.alive.contains(p)) return p;
+  }
+  if (!fallback_) return kNoProcess;
+  return rr_.nextStep(view);
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,84 @@
+// Step schedulers: who takes the next step of the schedule S.
+//
+// The asynchronous model places no constraint on the interleaving other
+// than fairness (every correct process takes infinitely many steps).  The
+// executor asks a StepScheduler for the next process; different schedulers
+// realize the asynchronous adversary, round-robin quasi-synchrony, and
+// scripted interleavings for the impossibility drivers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/process_set.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ssvsp {
+
+/// Read-only snapshot handed to schedulers and delivery policies.
+struct SchedulerView {
+  Time now = 0;                 ///< Time of the step about to be scheduled.
+  std::int64_t globalStep = 0;  ///< 1-based index of that step.
+  ProcessSet alive;             ///< Processes alive at `now`.
+  /// Per-process local step counts so far.
+  std::vector<std::int64_t> localSteps;
+  /// Per-process count of undelivered messages addressed to each process.
+  std::vector<std::int64_t> pendingCount;
+};
+
+class StepScheduler {
+ public:
+  virtual ~StepScheduler() = default;
+
+  /// Returns the process taking the next step.  Must be alive.  Returning
+  /// kNoProcess ends the run early (used by scripted schedules).
+  virtual ProcessId nextStep(const SchedulerView& view) = 0;
+};
+
+/// Cycles p0, p1, ..., p(n-1), skipping crashed processes.  On its own this
+/// yields a fully synchronous interleaving with Phi = 1.
+class RoundRobinScheduler : public StepScheduler {
+ public:
+  explicit RoundRobinScheduler(int n) : n_(n) {}
+  ProcessId nextStep(const SchedulerView& view) override;
+
+ private:
+  int n_;
+  ProcessId cursor_ = 0;
+};
+
+/// Uniformly random alive process each step — the canonical asynchronous
+/// adversary for randomized sweeps.  Optionally biased per process.
+class RandomScheduler : public StepScheduler {
+ public:
+  RandomScheduler(int n, Rng rng);
+  /// Sets a relative scheduling weight for p (default 1.0).  Weight 0 means
+  /// p is starved as long as any other alive process has positive weight —
+  /// legal in the asynchronous model for faulty processes or finite prefixes.
+  void setWeight(ProcessId p, double w);
+  ProcessId nextStep(const SchedulerView& view) override;
+
+ private:
+  int n_;
+  Rng rng_;
+  std::vector<double> weight_;
+};
+
+/// Follows an explicit list of process ids, then (optionally) falls back to
+/// round-robin.  Used by the SDD impossibility driver, which must control
+/// the interleaving exactly.
+class ScriptedScheduler : public StepScheduler {
+ public:
+  ScriptedScheduler(int n, std::vector<ProcessId> script, bool fallback);
+  ProcessId nextStep(const SchedulerView& view) override;
+
+ private:
+  int n_;
+  std::vector<ProcessId> script_;
+  std::size_t pos_ = 0;
+  bool fallback_;
+  RoundRobinScheduler rr_;
+};
+
+}  // namespace ssvsp

@@ -1,0 +1,111 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+std::vector<StepRecord> RunTrace::stepsOf(ProcessId p) const {
+  std::vector<StepRecord> out;
+  for (const auto& s : steps_)
+    if (s.pid == p) out.push_back(s);
+  return out;
+}
+
+std::int64_t RunTrace::stepCount(ProcessId p) const {
+  std::int64_t c = 0;
+  for (const auto& s : steps_)
+    if (s.pid == p) ++c;
+  return c;
+}
+
+std::vector<RunTrace::LocalStepView> RunTrace::localView(ProcessId p) const {
+  std::vector<LocalStepView> out;
+  for (const auto& s : steps_) {
+    if (s.pid != p) continue;
+    LocalStepView v;
+    for (const auto& e : s.delivered) v.received.emplace_back(e.src, e.payload);
+    // Delivery order within one step is not observable information in the
+    // paper's model (a set of messages is received); normalize it.
+    std::sort(v.received.begin(), v.received.end());
+    v.suspected = s.suspected;
+    if (s.sent.has_value())
+      v.sent = std::make_pair(s.sent->dst, s.sent->payload);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::optional<std::int64_t> RunTrace::decisionStep(ProcessId p) const {
+  for (const auto& s : steps_)
+    if (s.pid == p && s.outputAfter.has_value()) return s.globalStep;
+  return std::nullopt;
+}
+
+std::optional<Value> RunTrace::decision(ProcessId p) const {
+  std::optional<Value> out;
+  for (const auto& s : steps_) {
+    if (s.pid != p || !s.outputAfter.has_value()) continue;
+    if (out.has_value()) {
+      // Integrity of the recorded output: once set it must not change.
+      SSVSP_CHECK_MSG(*out == *s.outputAfter,
+                      "p" << p << " changed its decision");
+    } else {
+      out = s.outputAfter;
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> RunTrace::undeliveredSeqs() const {
+  std::set<std::int64_t> sent;
+  for (const auto& s : steps_)
+    if (s.sent.has_value()) sent.insert(s.sent->seq);
+  for (const auto& s : steps_)
+    for (const auto& e : s.delivered) sent.erase(e.seq);
+  return {sent.begin(), sent.end()};
+}
+
+std::string RunTrace::toString() const {
+  std::ostringstream os;
+  os << "RunTrace n=" << n_ << " steps=" << steps_.size() << '\n';
+  for (const auto& s : steps_) {
+    os << "  #" << s.globalStep << " t=" << s.time << " p" << s.pid << " (local "
+       << s.localStep << ")";
+    if (!s.delivered.empty()) {
+      os << " recv";
+      for (const auto& e : s.delivered)
+        os << " [p" << e.src << ":" << payloadToString(e.payload) << "]";
+    }
+    if (!s.suspected.empty()) os << " susp=" << s.suspected;
+    if (s.sent.has_value())
+      os << " send->p" << s.sent->dst << ":" << payloadToString(s.sent->payload);
+    if (s.outputAfter.has_value()) os << " out=" << *s.outputAfter;
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool indistinguishableTo(ProcessId p, const RunTrace& r1, const RunTrace& r2,
+                         std::int64_t k) {
+  const auto v1 = r1.localView(p);
+  const auto v2 = r2.localView(p);
+  std::size_t limit;
+  if (k < 0) {
+    limit = std::min(v1.size(), v2.size());
+  } else {
+    limit = static_cast<std::size_t>(k);
+    if (v1.size() < limit || v2.size() < limit) return false;
+  }
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (v1[i].received != v2[i].received) return false;
+    if (v1[i].suspected != v2[i].suspected) return false;
+    if (v1[i].sent != v2[i].sent) return false;
+  }
+  return true;
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,285 @@
+#include "scenario/scenario.hpp"
+
+#include <sstream>
+
+#include "consensus/registry.hpp"
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+namespace {
+
+struct Parser {
+  std::istringstream in;
+  int lineNo = 0;
+  std::string error;
+
+  explicit Parser(const std::string& text) : in(text) {}
+
+  bool fail(const std::string& what) {
+    std::ostringstream os;
+    os << "line " << lineNo << ": " << what;
+    if (error.empty()) error = os.str();
+    return false;
+  }
+};
+
+bool parseProcessList(const std::string& token, int n, ProcessSet* out,
+                      Parser& p) {
+  if (token == "all") {
+    *out = ProcessSet::full(n);
+    return true;
+  }
+  if (token == "none") {
+    *out = ProcessSet();
+    return true;
+  }
+  ProcessSet set;
+  std::istringstream ids(token);
+  std::string part;
+  while (std::getline(ids, part, ',')) {
+    try {
+      const int id = std::stoi(part);
+      if (id < 0 || id >= n) return p.fail("process id out of range: " + part);
+      set.insert(id);
+    } catch (const std::exception&) {
+      return p.fail("bad process id '" + part + "'");
+    }
+  }
+  *out = set;
+  return true;
+}
+
+}  // namespace
+
+ScenarioParseResult parseScenario(const std::string& text) {
+  ScenarioParseResult result;
+  Scenario& sc = result.scenario;
+  Parser p(text);
+  bool haveN = false, haveT = false, haveValues = false;
+
+  std::string line;
+  while (std::getline(p.in, line)) {
+    ++p.lineNo;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;  // blank line
+
+    auto expectInt = [&](int* out) {
+      std::string tok;
+      if (!(ls >> tok)) return p.fail("missing integer argument");
+      try {
+        *out = std::stoi(tok);
+      } catch (const std::exception&) {
+        return p.fail("expected integer, got '" + tok + "'");
+      }
+      return true;
+    };
+
+    if (directive == "model") {
+      std::string m;
+      if (!(ls >> m)) {
+        p.fail("missing model");
+        break;
+      }
+      if (m == "rs" || m == "RS") {
+        sc.model = RoundModel::kRs;
+      } else if (m == "rws" || m == "RWS") {
+        sc.model = RoundModel::kRws;
+      } else {
+        p.fail("unknown model '" + m + "' (want rs or rws)");
+        break;
+      }
+    } else if (directive == "algorithm") {
+      if (!(ls >> sc.algorithm)) {
+        p.fail("missing algorithm name");
+        break;
+      }
+    } else if (directive == "n") {
+      if (!expectInt(&sc.cfg.n)) break;
+      if (sc.cfg.n < 1 || sc.cfg.n > kMaxProcs) {
+        p.fail("n out of range");
+        break;
+      }
+      haveN = true;
+    } else if (directive == "t") {
+      if (!expectInt(&sc.cfg.t)) break;
+      haveT = true;
+    } else if (directive == "horizon") {
+      if (!expectInt(&sc.horizon)) break;
+    } else if (directive == "values") {
+      sc.values.clear();
+      std::string tok;
+      while (ls >> tok) {
+        if (tok == "_") {
+          sc.values.push_back(kUndecided);
+          continue;
+        }
+        try {
+          sc.values.push_back(static_cast<Value>(std::stoi(tok)));
+        } catch (const std::exception&) {
+          p.fail("bad value '" + tok + "'");
+          break;
+        }
+      }
+      if (!p.error.empty()) break;
+      haveValues = true;
+    } else if (directive == "crash") {
+      int proc = 0, round = 0;
+      std::string kw, sendtoKw, list;
+      if (!expectInt(&proc)) break;
+      if (!(ls >> kw) || kw != "round") {
+        p.fail("expected 'round'");
+        break;
+      }
+      if (!expectInt(&round)) break;
+      if (!(ls >> sendtoKw) || sendtoKw != "sendto") {
+        p.fail("expected 'sendto'");
+        break;
+      }
+      if (!(ls >> list)) {
+        p.fail("missing sendto list");
+        break;
+      }
+      if (!haveN) {
+        p.fail("'n' must precede 'crash'");
+        break;
+      }
+      if (proc < 0 || proc >= sc.cfg.n) {
+        p.fail("crash process out of range");
+        break;
+      }
+      CrashEvent c;
+      c.p = proc;
+      c.round = round;
+      if (!parseProcessList(list, sc.cfg.n, &c.sendTo, p)) break;
+      sc.script.crashes.push_back(c);
+    } else if (directive == "pending") {
+      int src = 0, dst = 0, round = 0;
+      std::string arrow, kw, when;
+      if (!expectInt(&src)) break;
+      if (!(ls >> arrow) || arrow != "->") {
+        p.fail("expected '->'");
+        break;
+      }
+      if (!expectInt(&dst)) break;
+      if (!(ls >> kw) || kw != "round") {
+        p.fail("expected 'round'");
+        break;
+      }
+      if (!expectInt(&round)) break;
+      if (!(ls >> when)) {
+        p.fail("expected 'arrival <r>' or 'never'");
+        break;
+      }
+      PendingChoice pc;
+      pc.src = src;
+      pc.dst = dst;
+      pc.round = round;
+      if (when == "never") {
+        pc.arrival = kNoRound;
+      } else if (when == "arrival") {
+        int arrival = 0;
+        if (!expectInt(&arrival)) break;
+        pc.arrival = arrival;
+      } else {
+        p.fail("expected 'arrival' or 'never', got '" + when + "'");
+        break;
+      }
+      sc.script.pendings.push_back(pc);
+    } else {
+      p.fail("unknown directive '" + directive + "'");
+      break;
+    }
+  }
+
+  if (p.error.empty()) {
+    if (!haveN || !haveT) p.fail("scenario needs both 'n' and 't'");
+  }
+  if (p.error.empty() && haveValues &&
+      static_cast<int>(sc.values.size()) != sc.cfg.n) {
+    p.lineNo = 0;
+    p.fail("'values' must list exactly n values");
+  }
+  if (p.error.empty() && !haveValues) {
+    sc.values.assign(static_cast<std::size_t>(sc.cfg.n), 0);
+    for (int i = 0; i < sc.cfg.n; ++i)
+      sc.values[static_cast<std::size_t>(i)] = i;  // default: distinct
+  }
+  if (p.error.empty()) {
+    // Algorithm must exist.
+    try {
+      algorithmByName(sc.algorithm);
+    } catch (const InvariantViolation&) {
+      p.lineNo = 0;
+      p.fail("unknown algorithm '" + sc.algorithm + "'");
+    }
+  }
+  if (p.error.empty()) {
+    const auto validity = validateScript(sc.script, sc.cfg, sc.model);
+    if (!validity.ok) {
+      p.lineNo = 0;
+      p.fail("illegal script for " + ssvsp::toString(sc.model) + ": " +
+             validity.reason);
+    }
+  }
+
+  result.ok = p.error.empty();
+  result.error = p.error;
+  return result;
+}
+
+std::string serializeScenario(const Scenario& sc) {
+  std::ostringstream os;
+  os << "model " << (sc.model == RoundModel::kRs ? "rs" : "rws") << "\n";
+  os << "algorithm " << sc.algorithm << "\n";
+  os << "n " << sc.cfg.n << "\n";
+  os << "t " << sc.cfg.t << "\n";
+  os << "values";
+  for (Value v : sc.values) {
+    if (v == kUndecided)
+      os << " _";
+    else
+      os << " " << v;
+  }
+  os << "\n";
+  if (sc.horizon > 0) os << "horizon " << sc.horizon << "\n";
+  for (const auto& c : sc.script.crashes) {
+    os << "crash " << c.p << " round " << c.round << " sendto ";
+    if (c.sendTo == ProcessSet::full(sc.cfg.n)) {
+      os << "all";
+    } else if (c.sendTo.empty()) {
+      os << "none";
+    } else {
+      bool first = true;
+      for (ProcessId q : c.sendTo) {
+        os << (first ? "" : ",") << q;
+        first = false;
+      }
+    }
+    os << "\n";
+  }
+  for (const auto& pc : sc.script.pendings) {
+    os << "pending " << pc.src << " -> " << pc.dst << " round " << pc.round
+       << " ";
+    if (pc.arrival == kNoRound)
+      os << "never";
+    else
+      os << "arrival " << pc.arrival;
+    os << "\n";
+  }
+  return os.str();
+}
+
+RoundRunResult runScenario(const Scenario& scenario, bool traceDeliveries) {
+  RoundEngineOptions opt;
+  opt.horizon = scenario.horizon > 0 ? scenario.horizon : scenario.cfg.t + 2;
+  opt.traceDeliveries = traceDeliveries;
+  return runRounds(scenario.cfg, scenario.model,
+                   algorithmByName(scenario.algorithm).factory,
+                   scenario.values, scenario.script, opt);
+}
+
+}  // namespace ssvsp

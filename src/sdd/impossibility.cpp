@@ -1,0 +1,199 @@
+#include "sdd/impossibility.hpp"
+
+#include <sstream>
+
+#include "fd/failure_detectors.hpp"
+#include "runtime/executor.hpp"
+#include "util/check.hpp"
+#include "util/serde.hpp"
+
+namespace ssvsp {
+
+namespace {
+
+/// Receiver that decides the received value, or 0 once it has suspected the
+/// sender for `grace` consecutive own steps (grace = 0: decide on first
+/// suspicion).  The natural use of P for SDD — and provably insufficient.
+class SuspectReceiver : public Automaton {
+ public:
+  explicit SuspectReceiver(std::int64_t grace) : grace_(grace) {}
+
+  void start(ProcessId self, int n) override {
+    SSVSP_CHECK(self == kSddReceiver && n >= 2);
+  }
+
+  void onStep(StepContext& ctx) override {
+    if (decision_.has_value()) return;
+    for (const Envelope& e : ctx.received()) {
+      if (e.src != kSddSender) continue;
+      PayloadReader r(e.payload);
+      decision_ = r.getValue();
+      return;
+    }
+    if (ctx.suspected().contains(kSddSender)) {
+      if (++suspectedSteps_ > grace_) decision_ = 0;
+    }
+  }
+
+  std::optional<Value> output() const override { return decision_; }
+
+ private:
+  std::int64_t grace_;
+  std::int64_t suspectedSteps_ = 0;
+  std::optional<Value> decision_;
+};
+
+/// Receiver that decides 0 immediately on its first step unless the value
+/// already arrived — the degenerate "optimist".
+class OptimistReceiver : public Automaton {
+ public:
+  void start(ProcessId self, int n) override {
+    SSVSP_CHECK(self == kSddReceiver && n >= 2);
+  }
+  void onStep(StepContext& ctx) override {
+    if (decision_.has_value()) return;
+    for (const Envelope& e : ctx.received()) {
+      if (e.src != kSddSender) continue;
+      PayloadReader r(e.payload);
+      decision_ = r.getValue();
+      return;
+    }
+    decision_ = 0;
+  }
+  std::optional<Value> output() const override { return decision_; }
+
+ private:
+  std::optional<Value> decision_;
+};
+
+SpSddCandidate makeCandidate(std::string name, std::string description,
+                             std::int64_t grace, bool optimist) {
+  SpSddCandidate c;
+  c.name = std::move(name);
+  c.description = std::move(description);
+  c.make = [grace, optimist](ProcessId self,
+                             Value senderValue) -> std::unique_ptr<Automaton> {
+    if (self == kSddSender) return std::make_unique<SddSender>(senderValue);
+    SSVSP_CHECK(self == kSddReceiver);
+    if (optimist) return std::make_unique<OptimistReceiver>();
+    return std::make_unique<SuspectReceiver>(grace);
+  };
+  return c;
+}
+
+}  // namespace
+
+std::vector<SpSddCandidate> standardSpCandidates() {
+  return {
+      makeCandidate("wait-for-suspect",
+                    "decide received value, or 0 on first suspicion", 0,
+                    false),
+      makeCandidate("grace-8",
+                    "after suspecting, wait 8 more steps for a late message",
+                    8, false),
+      makeCandidate("grace-64",
+                    "after suspecting, wait 64 more steps for a late message",
+                    64, false),
+      makeCandidate("optimist", "decide immediately on the first step", 0,
+                    true),
+  };
+}
+
+Theorem31Report runTheorem31Adversary(const SpSddCandidate& candidate,
+                                      Time suspicionDelay,
+                                      std::int64_t maxReceiverSteps) {
+  SSVSP_CHECK(suspicionDelay >= 0);
+  Theorem31Report report;
+  std::ostringstream why;
+
+  // ---- Run r0: the sender is initially crashed. -------------------------
+  // The receiver's k-th step happens at time k; the detector suspects the
+  // sender from time 1 + suspicionDelay, i.e. from receiver step
+  // 1 + suspicionDelay on.
+  FailurePattern f0(2);
+  f0.setCrash(kSddSender, 1);
+  PerfectFailureDetector fd0(f0, suspicionDelay);
+  RoundRobinScheduler sched0(2);
+  ImmediateDelivery delivery0;
+  ExecutorConfig cfg;
+  cfg.n = 2;
+  cfg.maxSteps = maxReceiverSteps;
+  const AutomatonFactory factory0 = [&](ProcessId p) {
+    return candidate.make(p, /*senderValue=*/0);
+  };
+  Executor ex0(cfg, factory0, f0, sched0, delivery0, &fd0);
+  const RunTrace r0 = ex0.run([](const Executor& e) {
+    return e.output(kSddReceiver).has_value();
+  });
+
+  report.deadRunDecision = r0.decision(kSddReceiver);
+  if (!report.deadRunDecision.has_value()) {
+    report.defeated = true;
+    why << "candidate '" << candidate.name
+        << "' violates Termination: the receiver never decides in run r0 "
+           "(sender initially crashed, suspected from step "
+        << (1 + suspicionDelay) << ") within " << maxReceiverSteps
+        << " steps.";
+    report.explanation = why.str();
+    return report;
+  }
+  const Value d = *report.deadRunDecision;
+  report.decisionSteps = r0.stepCount(kSddReceiver);
+  report.violatingValue = static_cast<Value>(1 - d);
+
+  // ---- Run r'_v: sender takes one step, crashes; message held. ----------
+  // The sender steps at time 1 and crashes at time 2; the receiver's k-th
+  // step happens at time k+1.  With the SAME detector delay the suspicion
+  // starts at time 2 + suspicionDelay = receiver step 1 + suspicionDelay:
+  // the receiver's local view is step-for-step identical to r0 while the
+  // message is held.
+  const Value v = report.violatingValue;
+  FailurePattern f1(2);
+  f1.setCrash(kSddSender, 2);
+  PerfectFailureDetector fd1(f1, suspicionDelay);
+  ScriptedScheduler sched1(2, {kSddSender}, /*fallback=*/true);
+  ScriptedHoldDelivery delivery1;
+  delivery1.holdChannel(kSddSender, kSddReceiver);
+  const AutomatonFactory factory1 = [&](ProcessId p) {
+    return candidate.make(p, v);
+  };
+  ExecutorConfig cfg1 = cfg;
+  cfg1.maxSteps = maxReceiverSteps + 16;
+  Executor ex1(cfg1, factory1, f1, sched1, delivery1, &fd1);
+  const std::int64_t holdUntil = report.decisionSteps + 8;
+  bool released = false;
+  const RunTrace rv = ex1.run([&](const Executor& e) {
+    if (!released && e.output(kSddReceiver).has_value()) {
+      // Decision made: the adversary now lets the message through — delivery
+      // was merely finite-but-late, as the asynchronous model allows.
+      delivery1.releaseChannel(kSddSender, kSddReceiver);
+      released = true;
+    }
+    return e.localSteps(kSddReceiver) >= holdUntil;
+  });
+
+  // Sanity: the construction really is indistinguishable to the receiver up
+  // to its decision step.
+  SSVSP_CHECK_MSG(
+      indistinguishableTo(kSddReceiver, r0, rv, report.decisionSteps),
+      "adversary bug: r0 and r'_v diverge before the decision");
+
+  const auto dv = rv.decision(kSddReceiver);
+  SSVSP_CHECK_MSG(dv.has_value(),
+                  "deterministic candidate decided in r0 but not in r'_v");
+  SSVSP_CHECK_MSG(*dv == d, "deterministic candidate decided differently on "
+                            "indistinguishable views");
+
+  // The sender took a step in r'_v, so Validity requires decision v != d.
+  report.defeated = true;
+  why << "candidate '" << candidate.name << "': in r0 (dead sender) the "
+      << "receiver decides " << d << " after " << report.decisionSteps
+      << " steps; in r'_" << v << " the sender sent value " << v
+      << " and crashed, the message was delayed past the decision, the "
+      << "receiver's view matched r0 and it decided " << d
+      << " — violating Validity.";
+  report.explanation = why.str();
+  return report;
+}
+
+}  // namespace ssvsp

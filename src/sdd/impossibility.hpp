@@ -1,0 +1,76 @@
+// Executable Theorem 3.1: no algorithm solves SDD in SP tolerating a crash.
+//
+// The proof constructs four runs; the driver below constructs the decisive
+// two against ANY deterministic candidate and verifies the contradiction
+// mechanically:
+//
+//   r0    — the sender is initially crashed (takes no step); the perfect
+//           failure detector suspects it from some time on.  By Termination
+//           the receiver decides some d in r0.
+//
+//   r'_v  — the sender starts with value v, takes exactly ONE step (sending
+//           its value) and crashes; the asynchronous adversary delays that
+//           message past the receiver's decision point; the failure
+//           detector's suspicion, expressed in receiver-local steps, is
+//           timed identically to r0 (P allows this: the detection delay is
+//           finite but unbounded).  The receiver's local view is then
+//           identical to r0, so — being deterministic — it decides d again.
+//           Validity demands it decide v.
+//
+// Taking v = 1 - d yields a validity violation: the candidate is defeated.
+// If the candidate instead never decides in r0, it already violates
+// Termination.  Nothing in the driver depends on the candidate's internals,
+// which is exactly the quantifier structure of the theorem.
+//
+// The same schedule manipulation is impossible in SS: there the message
+// would be forcibly delivered within Delta receiver steps and the suspicion
+// could not be delayed past Phi+1+Delta — which is why SddSsReceiver
+// survives (see the tests).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/automaton.hpp"
+#include "sdd/sdd.hpp"
+
+namespace ssvsp {
+
+/// A candidate SDD algorithm for the SP model: builds the automaton for
+/// each of the two processes, given the sender's initial value.
+struct SpSddCandidate {
+  std::string name;
+  std::string description;
+  std::function<std::unique_ptr<Automaton>(ProcessId self, Value senderValue)>
+      make;
+};
+
+struct Theorem31Report {
+  /// True iff the adversary exhibited a spec-violating run (it always does
+  /// for terminating deterministic candidates — that is the theorem).
+  bool defeated = false;
+  /// d: the receiver's decision in the dead-sender run r0 (if it decided).
+  std::optional<Value> deadRunDecision;
+  /// The sender value v = 1 - d used in the violating run r'_v.
+  Value violatingValue = 0;
+  /// Receiver steps until decision in r0 (the adversary's hold horizon).
+  std::int64_t decisionSteps = 0;
+  /// Human-readable account of the constructed runs.
+  std::string explanation;
+};
+
+/// Runs the Theorem 3.1 adversary against a candidate.  `suspicionDelay`
+/// varies the perfect failure detector's (finite, unbounded) detection
+/// delay; the construction works for every value.  `maxReceiverSteps` bounds
+/// the termination check in r0.
+Theorem31Report runTheorem31Adversary(const SpSddCandidate& candidate,
+                                      Time suspicionDelay = 0,
+                                      std::int64_t maxReceiverSteps = 5000);
+
+/// Natural candidate algorithms people propose for SDD in SP; every one of
+/// them is defeated by the adversary (tests + bench E7).
+std::vector<SpSddCandidate> standardSpCandidates();
+
+}  // namespace ssvsp

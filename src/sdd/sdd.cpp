@@ -1,0 +1,88 @@
+#include "sdd/sdd.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/serde.hpp"
+
+namespace ssvsp {
+
+void SddSender::start(ProcessId self, int n) {
+  SSVSP_CHECK_MSG(self == kSddSender, "sender must run on p0");
+  SSVSP_CHECK(n >= 2);
+}
+
+void SddSender::onStep(StepContext& ctx) {
+  if (sent_) return;
+  PayloadWriter w;
+  w.putValue(v_);
+  ctx.send(kSddReceiver, std::move(w).take());
+  sent_ = true;
+}
+
+SddSsReceiver::SddSsReceiver(int phi, int delta)
+    : budget_(static_cast<std::int64_t>(phi) + 1 + delta) {
+  SSVSP_CHECK(phi >= 1 && delta >= 1);
+}
+
+void SddSsReceiver::start(ProcessId self, int n) {
+  SSVSP_CHECK_MSG(self == kSddReceiver, "receiver must run on p1");
+  SSVSP_CHECK(n >= 2);
+}
+
+void SddSsReceiver::onStep(StepContext& ctx) {
+  ++steps_;
+  for (const Envelope& e : ctx.received()) {
+    if (e.src != kSddSender) continue;
+    PayloadReader r(e.payload);
+    received_ = r.getValue();
+  }
+  if (steps_ == budget_ && !decision_.has_value())
+    decision_ = received_.value_or(0);
+}
+
+AutomatonFactory makeSddSsAlgorithm(Value senderInitial, int phi, int delta) {
+  return [senderInitial, phi, delta](ProcessId p) -> std::unique_ptr<Automaton> {
+    if (p == kSddSender) return std::make_unique<SddSender>(senderInitial);
+    if (p == kSddReceiver) return std::make_unique<SddSsReceiver>(phi, delta);
+    SSVSP_CHECK_MSG(false, "SDD is a two-process problem; got p" << p);
+    __builtin_unreachable();
+  };
+}
+
+SddVerdict checkSdd(const RunTrace& trace, Value senderInitial) {
+  SddVerdict v;
+  std::ostringstream witness;
+
+  // Integrity: RunTrace::decision throws if the recorded output changes.
+  std::optional<Value> decision;
+  try {
+    decision = trace.decision(kSddReceiver);
+  } catch (const InvariantViolation& e) {
+    v.integrity = false;
+    witness << "[integrity] " << e.what() << "; ";
+  }
+
+  // Validity: a sender that took a step is "not initially crashed".
+  const bool senderStepped = trace.stepCount(kSddSender) > 0;
+  if (v.integrity && senderStepped && decision.has_value() &&
+      *decision != senderInitial) {
+    v.validity = false;
+    witness << "[validity] sender stepped with value " << senderInitial
+            << " but receiver decided " << *decision << "; ";
+  }
+
+  // Termination: correct receiver must decide within the prefix.
+  const bool receiverCorrect =
+      trace.pattern().correct().contains(kSddReceiver);
+  if (receiverCorrect && !decision.has_value()) {
+    v.termination = false;
+    witness << "[termination] correct receiver undecided after "
+            << trace.numSteps() << " steps; ";
+  }
+
+  v.witness = witness.str();
+  return v;
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,79 @@
+// The Strongly Dependent Decision problem (paper Section 3).
+//
+// Two processes: a sender p_i with an initial value in {0, 1} and a receiver
+// p_j that must output a decision in {0, 1}:
+//   Integrity   — p_j decides at most once;
+//   Validity    — if p_i has not initially crashed (i.e., it took at least
+//                 one step, and hence sent its value), the only possible
+//                 decision is p_i's initial value;
+//   Termination — if p_j is correct, p_j eventually decides.
+//
+// SDD is time-free, solvable in SS (the Phi+1+Delta timeout algorithm below)
+// and unsolvable in SP (Theorem 3.1; see sdd/impossibility.hpp).  SDD is the
+// paper's witness that SS is strictly stronger than SP: it captures the fact
+// that SS bounds the failure-detection delay while SP only makes it finite.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "runtime/automaton.hpp"
+#include "runtime/trace.hpp"
+
+namespace ssvsp {
+
+inline constexpr ProcessId kSddSender = 0;
+inline constexpr ProcessId kSddReceiver = 1;
+
+/// The sender's automaton, shared by all SDD algorithms: it sends its
+/// initial value to the receiver in its first step and then idles.
+class SddSender : public Automaton {
+ public:
+  explicit SddSender(Value initial) : v_(initial) {}
+
+  void start(ProcessId self, int n) override;
+  void onStep(StepContext& ctx) override;
+  std::optional<Value> output() const override { return std::nullopt; }
+
+ private:
+  Value v_;
+  bool sent_ = false;
+};
+
+/// The paper's SS receiver: executes Phi + 1 + Delta (possibly empty) steps;
+/// if the sender's value arrived within that window, decide it, otherwise
+/// decide 0.  Correct in every SS run with the matching Phi and Delta.
+class SddSsReceiver : public Automaton {
+ public:
+  SddSsReceiver(int phi, int delta);
+
+  void start(ProcessId self, int n) override;
+  void onStep(StepContext& ctx) override;
+  std::optional<Value> output() const override { return decision_; }
+
+ private:
+  std::int64_t budget_;  // Phi + 1 + Delta
+  std::int64_t steps_ = 0;
+  std::optional<Value> received_;
+  std::optional<Value> decision_;
+};
+
+/// Factory for the two-process SS algorithm.
+AutomatonFactory makeSddSsAlgorithm(Value senderInitial, int phi, int delta);
+
+struct SddVerdict {
+  bool integrity = true;
+  bool validity = true;
+  bool termination = true;
+  std::string witness;
+  bool ok() const { return integrity && validity && termination; }
+};
+
+/// Checks the SDD specification on a finished trace.  "Initially crashed"
+/// is judged operationally: the sender took no step in the trace.
+/// Termination is judged at the horizon: a correct receiver must have
+/// decided by the end of the prefix (callers run long enough).
+SddVerdict checkSdd(const RunTrace& trace, Value senderInitial);
+
+}  // namespace ssvsp

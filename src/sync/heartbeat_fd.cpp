@@ -1,0 +1,55 @@
+#include "sync/heartbeat_fd.hpp"
+
+#include "util/check.hpp"
+#include "util/serde.hpp"
+
+namespace ssvsp {
+
+namespace {
+constexpr std::int32_t kHeartbeatTag = 0x48;  // 'H'
+}
+
+void HeartbeatAutomaton::start(ProcessId self, int n) {
+  SSVSP_CHECK(timeout_ >= 1);
+  self_ = self;
+  n_ = n;
+  nextDst_ = (self + 1) % n;
+  lastHeard_.assign(static_cast<std::size_t>(n), 0);
+}
+
+void HeartbeatAutomaton::onStep(StepContext& ctx) {
+  ++localStep_;
+
+  for (const Envelope& e : ctx.received()) {
+    PayloadReader r(e.payload);
+    SSVSP_CHECK_MSG(r.getInt() == kHeartbeatTag, "unexpected payload");
+    lastHeard_[static_cast<std::size_t>(e.src)] = localStep_;
+  }
+
+  // Re-evaluate suspicions.  A fresh heartbeat clears a suspicion: the only
+  // way a suspected process can speak again is via a message that was in
+  // flight when it crashed, so clearing never violates accuracy, and once
+  // the in-flight messages drain the suspicion becomes permanent
+  // (completeness).
+  for (ProcessId q = 0; q < n_; ++q) {
+    if (q == self_) continue;
+    const std::int64_t silence =
+        localStep_ - lastHeard_[static_cast<std::size_t>(q)];
+    if (silence > timeout_) {
+      suspected_.insert(q);
+    } else {
+      suspected_.erase(q);
+    }
+  }
+
+  // Heartbeat the next peer (skipping self), one destination per step.
+  if (n_ > 1) {
+    if (nextDst_ == self_) nextDst_ = (nextDst_ + 1) % n_;
+    PayloadWriter w;
+    w.putInt(kHeartbeatTag);
+    ctx.send(nextDst_, std::move(w).take());
+    nextDst_ = (nextDst_ + 1) % n_;
+  }
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,61 @@
+// Timeout-based implementation of the perfect failure detector on SS.
+//
+// Paper, Section 3: "In the synchronous model, detecting failures perfectly
+// is easy: a simple time-out mechanism with time-out periods that depend on
+// the Delta and Phi bounds, one can implement a perfect failure detector."
+//
+// HeartbeatAutomaton makes that constructive.  Every process sends
+// heartbeats to its peers round-robin (one per step, honouring the
+// one-message-per-step rule) and suspects a peer after a silence of
+// `timeout` of its own steps.  With timeout >= safeTimeout(n, phi, delta)
+// the suspicions satisfy P's axioms on every SS run:
+//
+//   accuracy    — while q is alive, q takes >= k steps in any window where
+//                 the observer takes k*(phi+1) steps (process synchrony,
+//                 applied to a partition of the window), so q pushes a fresh
+//                 heartbeat to the observer every <= n*(phi+1) observer
+//                 steps, plus <= delta observer steps for delivery;
+//   completeness — after q crashes and its in-flight heartbeats drain, the
+//                 observer's silence counter grows without bound.
+//
+// Tests validate both axioms over randomized SS runs, and demonstrate that
+// an undersized timeout (one that ignores phi or delta) produces false
+// suspicions — the reason this construction cannot exist in SP.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "runtime/automaton.hpp"
+#include "util/process_set.hpp"
+
+namespace ssvsp {
+
+/// Conservative safe timeout in observer-local steps.
+constexpr std::int64_t safeTimeout(int n, int phi, int delta) {
+  return static_cast<std::int64_t>(n + 2) * (phi + 1) + delta + 2;
+}
+
+class HeartbeatAutomaton : public Automaton {
+ public:
+  explicit HeartbeatAutomaton(std::int64_t timeout) : timeout_(timeout) {}
+
+  void start(ProcessId self, int n) override;
+  void onStep(StepContext& ctx) override;
+  std::optional<Value> output() const override { return std::nullopt; }
+
+  /// The processes this module currently suspects.
+  ProcessSet suspected() const { return suspected_; }
+
+ private:
+  std::int64_t timeout_;
+  ProcessId self_ = kNoProcess;
+  int n_ = 0;
+  ProcessId nextDst_ = 0;
+  std::int64_t localStep_ = 0;
+  /// Local step at which the last heartbeat from each peer was received.
+  std::vector<std::int64_t> lastHeard_;
+  ProcessSet suspected_;
+};
+
+}  // namespace ssvsp

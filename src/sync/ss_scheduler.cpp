@@ -1,0 +1,98 @@
+#include "sync/ss_scheduler.hpp"
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+SsScheduler::SsScheduler(int n, int phi, Rng rng, double bias)
+    : n_(n),
+      phi_(phi),
+      rng_(rng),
+      bias_(bias),
+      counter_(static_cast<std::size_t>(n),
+               std::vector<int>(static_cast<std::size_t>(n), 0)) {
+  SSVSP_CHECK(n >= 1 && n <= kMaxProcs);
+  SSVSP_CHECK(phi >= 1);
+  SSVSP_CHECK(bias >= 0.0);
+}
+
+bool SsScheduler::eligible(ProcessId p, const SchedulerView& view) const {
+  // Scheduling p bumps counter_[q][p] for every q != p; process synchrony
+  // forbids that counter reaching phi+1 while q is alive.
+  for (ProcessId q : view.alive) {
+    if (q == p) continue;
+    if (counter_[static_cast<std::size_t>(q)][static_cast<std::size_t>(p)] >=
+        phi_)
+      return false;
+  }
+  return true;
+}
+
+ProcessId SsScheduler::nextStep(const SchedulerView& view) {
+  if (view.alive.empty()) return kNoProcess;
+  std::vector<ProcessId> candidates;
+  for (ProcessId p : view.alive)
+    if (eligible(p, view)) candidates.push_back(p);
+  SSVSP_CHECK_MSG(!candidates.empty(),
+                  "SS greedy scheduler found no eligible process");
+
+  ProcessId pick;
+  if (bias_ <= 0.0) {
+    pick = candidates[rng_.index(candidates.size())];
+  } else {
+    // Geometric preference for low-id candidates: candidate i is chosen
+    // with probability proportional to (1 + bias)^-i.
+    double total = 0.0;
+    std::vector<double> w(candidates.size());
+    double cur = 1.0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      w[i] = cur;
+      total += cur;
+      cur /= (1.0 + bias_);
+    }
+    double r = rng_.uniformReal() * total;
+    pick = candidates.back();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      r -= w[i];
+      if (r <= 0.0) {
+        pick = candidates[i];
+        break;
+      }
+    }
+  }
+
+  for (ProcessId q = 0; q < n_; ++q) {
+    if (q == pick) continue;
+    ++counter_[static_cast<std::size_t>(q)][static_cast<std::size_t>(pick)];
+  }
+  for (ProcessId other = 0; other < n_; ++other)
+    counter_[static_cast<std::size_t>(pick)][static_cast<std::size_t>(other)] =
+        0;
+  return pick;
+}
+
+SsDelivery::SsDelivery(Rng rng, int delta) : rng_(rng), delta_(delta) {
+  SSVSP_CHECK(delta >= 1);
+}
+
+std::int64_t SsDelivery::delayFor(std::int64_t seq) {
+  for (const auto& [s, d] : delay_)
+    if (s == seq) return d;
+  const std::int64_t d = rng_.uniformInt(1, delta_);
+  delay_.emplace_back(seq, d);
+  if (delay_.size() > 4096)
+    delay_.erase(delay_.begin(), delay_.begin() + 2048);
+  return d;
+}
+
+std::vector<std::size_t> SsDelivery::deliverNow(
+    ProcessId /*p*/, std::int64_t /*localStep*/,
+    const std::vector<BufferedMessage>& buffer, const SchedulerView& view) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < buffer.size(); ++i)
+    if (view.globalStep >= buffer[i].env.sentStep + delayFor(buffer[i].env.seq))
+      out.push_back(i);
+  return out;
+}
+
+}  // namespace ssvsp

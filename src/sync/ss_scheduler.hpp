@@ -1,0 +1,62 @@
+// SS-conforming schedule and delivery generation.
+//
+// SsScheduler produces (randomized) schedules that satisfy Phi-process
+// synchrony by construction: it tracks, for every pair (q, p), how many
+// steps p has taken since q's last step, and only ever schedules a process
+// whose step keeps all counters of alive observers at most Phi.  The
+// least-recently-scheduled alive process always qualifies, so the greedy
+// choice never deadlocks.
+//
+// SsDelivery realizes Delta-message synchrony: each message is assigned an
+// adversarial delay d in [1, Delta] (in global steps) and is received at the
+// recipient's first step at least d global steps after the send — hence
+// always by the recipient's first step >= send + Delta, as the model
+// requires.
+#pragma once
+
+#include <vector>
+
+#include "runtime/delivery.hpp"
+#include "runtime/schedulers.hpp"
+#include "util/rng.hpp"
+
+namespace ssvsp {
+
+class SsScheduler : public StepScheduler {
+ public:
+  /// `bias`: 0 picks uniformly among eligible processes; values > 0
+  /// increasingly favour low-id processes, producing lopsided-but-legal
+  /// schedules that stress Phi windows.
+  SsScheduler(int n, int phi, Rng rng, double bias = 0.0);
+
+  ProcessId nextStep(const SchedulerView& view) override;
+
+ private:
+  bool eligible(ProcessId p, const SchedulerView& view) const;
+
+  int n_;
+  int phi_;
+  Rng rng_;
+  double bias_;
+  /// counter_[q][p]: steps p has taken since q's last step.
+  std::vector<std::vector<int>> counter_;
+};
+
+class SsDelivery : public DeliveryPolicy {
+ public:
+  SsDelivery(Rng rng, int delta);
+
+  std::vector<std::size_t> deliverNow(
+      ProcessId p, std::int64_t localStep,
+      const std::vector<BufferedMessage>& buffer,
+      const SchedulerView& view) override;
+
+ private:
+  Rng rng_;
+  int delta_;
+  /// seq -> assigned delay in global steps, in [1, delta].
+  std::vector<std::pair<std::int64_t, std::int64_t>> delay_;
+  std::int64_t delayFor(std::int64_t seq);
+};
+
+}  // namespace ssvsp

@@ -1,0 +1,87 @@
+#include "sync/synchrony.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+namespace {
+SynchronyReport fail(std::string witness) {
+  SynchronyReport r;
+  r.ok = false;
+  r.witness = std::move(witness);
+  return r;
+}
+}  // namespace
+
+SynchronyReport checkProcessSynchrony(const RunTrace& trace, int phi) {
+  SSVSP_CHECK(phi >= 1);
+  const int n = trace.n();
+  // counter[q][p] = number of steps p has taken since q's last step (or
+  // since the start of the schedule).  A violation exists iff some counter
+  // reaches phi+1 at a moment where q is still alive: the window from just
+  // after q's last step to now contains phi+1 steps of p and none of q.
+  std::vector<std::vector<int>> counter(
+      static_cast<std::size_t>(n), std::vector<int>(static_cast<std::size_t>(n), 0));
+  for (const auto& s : trace.steps()) {
+    const ProcessId p = s.pid;
+    for (ProcessId q = 0; q < n; ++q) {
+      if (q == p) continue;
+      int& c = counter[static_cast<std::size_t>(q)][static_cast<std::size_t>(p)];
+      ++c;
+      if (c >= phi + 1 && trace.pattern().alive(q, s.time)) {
+        std::ostringstream os;
+        os << "p" << p << " took " << c << " steps (> Phi=" << phi
+           << ") since alive p" << q << "'s last step, at step #"
+           << s.globalStep;
+        return fail(os.str());
+      }
+    }
+    for (ProcessId other = 0; other < n; ++other)
+      counter[static_cast<std::size_t>(p)][static_cast<std::size_t>(other)] = 0;
+  }
+  return {};
+}
+
+SynchronyReport checkMessageSynchrony(const RunTrace& trace, int delta) {
+  SSVSP_CHECK(delta >= 1);
+  // Delivery step per message seq.
+  std::map<std::int64_t, std::int64_t> deliveredAt;
+  for (const auto& s : trace.steps())
+    for (const auto& e : s.delivered) deliveredAt[e.seq] = s.globalStep;
+
+  for (const auto& s : trace.steps()) {
+    if (!s.sent.has_value()) continue;
+    const Envelope& m = *s.sent;
+    const std::int64_t k = s.globalStep;
+    // First step of the recipient with global index >= k + delta.
+    std::int64_t deadline = -1;
+    for (const auto& r : trace.steps()) {
+      if (r.pid == m.dst && r.globalStep >= k + delta) {
+        deadline = r.globalStep;
+        break;
+      }
+    }
+    if (deadline < 0) continue;  // recipient never reaches index k + delta
+    auto it = deliveredAt.find(m.seq);
+    if (it == deliveredAt.end() || it->second > deadline) {
+      std::ostringstream os;
+      os << "message seq=" << m.seq << " (p" << m.src << "->p" << m.dst
+         << ", sent at step #" << k << ") not received by p" << m.dst
+         << "'s step #" << deadline << " (Delta=" << delta << ")";
+      return fail(os.str());
+    }
+  }
+  return {};
+}
+
+SynchronyReport checkSsRun(const RunTrace& trace, int phi, int delta) {
+  SynchronyReport r = checkProcessSynchrony(trace, phi);
+  if (!r.ok) return r;
+  return checkMessageSynchrony(trace, delta);
+}
+
+}  // namespace ssvsp

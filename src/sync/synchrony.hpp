@@ -1,0 +1,41 @@
+// Synchrony condition checkers for the SS model (paper Section 2.4).
+//
+// SS is the asynchronous model restricted to runs satisfying, for constants
+// Phi >= 1 and Delta >= 1:
+//
+//   Process synchrony — in any window of consecutive steps of S in which
+//   some process takes Phi+1 steps, every process alive at the end of the
+//   window takes at least one step.
+//
+//   Message synchrony — if message m is sent to p_i during the k-th step of
+//   S and p_i takes the l-th step with l >= k + Delta, then m is received
+//   by the end of the l-th step.
+//
+// Both conditions are over schedule indices, not real time (following
+// Dolev-Dwork-Stockmeyer).  The checkers run over a recorded RunTrace and
+// return the first violating witness, so the SS schedule generator and the
+// RS emulation can be validated rather than trusted.
+#pragma once
+
+#include <string>
+
+#include "runtime/trace.hpp"
+
+namespace ssvsp {
+
+struct SynchronyReport {
+  bool ok = true;
+  std::string witness;
+};
+
+/// Checks process synchrony with bound Phi.  O(steps * n).
+SynchronyReport checkProcessSynchrony(const RunTrace& trace, int phi);
+
+/// Checks message synchrony with bound Delta.  O(messages * steps) worst
+/// case, linear in practice via per-process step indexing.
+SynchronyReport checkMessageSynchrony(const RunTrace& trace, int delta);
+
+/// Both conditions.
+SynchronyReport checkSsRun(const RunTrace& trace, int phi, int delta);
+
+}  // namespace ssvsp

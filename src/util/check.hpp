@@ -1,0 +1,50 @@
+// Invariant-checking macros.
+//
+// Simulators are only useful if their internal invariants are enforced
+// loudly: a silent model violation (e.g. a crashed process taking a step)
+// would invalidate every experiment built on top.  SSVSP_CHECK therefore
+// throws (it is not compiled out in release builds); tests exercise these
+// failure paths directly.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ssvsp {
+
+/// Raised when a library invariant or precondition is violated.
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void failCheck(const char* expr, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace ssvsp
+
+/// Always-on invariant check; throws ssvsp::InvariantViolation on failure.
+#define SSVSP_CHECK(expr)                                             \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::ssvsp::detail::failCheck(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+/// Always-on invariant check with a formatted context message.
+#define SSVSP_CHECK_MSG(expr, msg)                                    \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream ssvsp_os_;                                   \
+      ssvsp_os_ << msg;                                               \
+      ::ssvsp::detail::failCheck(#expr, __FILE__, __LINE__,           \
+                                 ssvsp_os_.str());                    \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,53 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace ssvsp {
+
+namespace {
+
+LogLevel levelFromEnv() {
+  const char* env = std::getenv("SSVSP_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& levelSlot() {
+  static std::atomic<LogLevel> level{levelFromEnv()};
+  return level;
+}
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel logLevel() { return levelSlot().load(std::memory_order_relaxed); }
+
+void setLogLevel(LogLevel level) {
+  levelSlot().store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void emitLog(LogLevel level, const std::string& message) {
+  std::cerr << "[ssvsp " << levelName(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace ssvsp

@@ -1,0 +1,25 @@
+#include "util/process_set.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace ssvsp {
+
+std::string ProcessSet::toString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, ProcessSet s) {
+  os << '{';
+  bool first = true;
+  for (ProcessId p : s) {
+    if (!first) os << ',';
+    first = false;
+    os << p;
+  }
+  return os << '}';
+}
+
+}  // namespace ssvsp

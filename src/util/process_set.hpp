@@ -1,0 +1,129 @@
+// ProcessSet: a value-semantic set of process ids backed by one 64-bit word.
+//
+// The paper manipulates subsets of Pi constantly — failure patterns F(t),
+// suspicion sets H(p, t), FloodSetWS's halt set, crash-round send subsets.
+// A packed bitset makes those sets cheap to copy, compare, and enumerate,
+// which matters because the exhaustive model checker enumerates millions of
+// them.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iterator>
+#include <iosfwd>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace ssvsp {
+
+class ProcessSet {
+ public:
+  /// Empty set.
+  constexpr ProcessSet() = default;
+
+  /// Set from an explicit bit mask (bit i <=> process i).
+  static constexpr ProcessSet fromMask(std::uint64_t mask) {
+    ProcessSet s;
+    s.bits_ = mask;
+    return s;
+  }
+
+  /// The full set {0..n-1}.
+  static ProcessSet full(int n) {
+    SSVSP_CHECK(n >= 0 && n <= kMaxProcs);
+    if (n == 0) return ProcessSet();
+    if (n == 64) return fromMask(~std::uint64_t{0});
+    return fromMask((std::uint64_t{1} << n) - 1);
+  }
+
+  /// Singleton {p}.
+  static ProcessSet single(ProcessId p) {
+    ProcessSet s;
+    s.insert(p);
+    return s;
+  }
+
+  ProcessSet(std::initializer_list<ProcessId> ids) {
+    for (ProcessId p : ids) insert(p);
+  }
+
+  bool contains(ProcessId p) const {
+    checkId(p);
+    return (bits_ >> p) & 1;
+  }
+
+  void insert(ProcessId p) {
+    checkId(p);
+    bits_ |= (std::uint64_t{1} << p);
+  }
+
+  void erase(ProcessId p) {
+    checkId(p);
+    bits_ &= ~(std::uint64_t{1} << p);
+  }
+
+  int size() const { return __builtin_popcountll(bits_); }
+  bool empty() const { return bits_ == 0; }
+  std::uint64_t mask() const { return bits_; }
+
+  /// Smallest member; requires non-empty.
+  ProcessId min() const {
+    SSVSP_CHECK(!empty());
+    return __builtin_ctzll(bits_);
+  }
+
+  ProcessSet operator|(ProcessSet o) const { return fromMask(bits_ | o.bits_); }
+  ProcessSet operator&(ProcessSet o) const { return fromMask(bits_ & o.bits_); }
+  ProcessSet operator-(ProcessSet o) const { return fromMask(bits_ & ~o.bits_); }
+  ProcessSet& operator|=(ProcessSet o) { bits_ |= o.bits_; return *this; }
+  ProcessSet& operator&=(ProcessSet o) { bits_ &= o.bits_; return *this; }
+  ProcessSet& operator-=(ProcessSet o) { bits_ &= ~o.bits_; return *this; }
+
+  bool isSubsetOf(ProcessSet o) const { return (bits_ & ~o.bits_) == 0; }
+
+  friend bool operator==(ProcessSet a, ProcessSet b) = default;
+
+  /// Iteration over members in increasing id order.
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = ProcessId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const ProcessId*;
+    using reference = ProcessId;
+
+    explicit iterator(std::uint64_t rest) : rest_(rest) {}
+    ProcessId operator*() const { return __builtin_ctzll(rest_); }
+    iterator& operator++() {
+      rest_ &= rest_ - 1;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator old = *this;
+      ++*this;
+      return old;
+    }
+    friend bool operator==(iterator a, iterator b) = default;
+
+   private:
+    std::uint64_t rest_;
+  };
+  iterator begin() const { return iterator(bits_); }
+  iterator end() const { return iterator(0); }
+
+  /// "{0,2,5}" rendering for traces and diagnostics.
+  std::string toString() const;
+
+ private:
+  static void checkId(ProcessId p) {
+    SSVSP_CHECK_MSG(p >= 0 && p < kMaxProcs, "process id " << p);
+  }
+
+  std::uint64_t bits_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, ProcessSet s);
+
+}  // namespace ssvsp

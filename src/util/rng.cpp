@@ -1,0 +1,59 @@
+#include "util/rng.hpp"
+
+namespace ssvsp {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  SSVSP_CHECK_MSG(lo <= hi, "uniformInt(" << lo << ", " << hi << ")");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = std::uint64_t(-1) - std::uint64_t(-1) % span;
+  std::uint64_t r;
+  do {
+    r = next();
+  } while (r >= limit);
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Rng::uniformReal() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) { return uniformReal() < p; }
+
+std::size_t Rng::index(std::size_t size) {
+  SSVSP_CHECK(size > 0);
+  return static_cast<std::size_t>(
+      uniformInt(0, static_cast<std::int64_t>(size) - 1));
+}
+
+std::uint64_t Rng::subsetMask(int n) {
+  SSVSP_CHECK(n >= 0 && n <= kMaxProcs);
+  if (n == 0) return 0;
+  std::uint64_t mask = next();
+  if (n < 64) mask &= (std::uint64_t{1} << n) - 1;
+  return mask;
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+}  // namespace ssvsp

@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// Every randomized adversary and workload generator in this library draws
+// from Rng, a xoshiro256** generator seeded through SplitMix64.  The same
+// seed always yields the same run on every platform, which is essential for
+// debugging adversarial counterexamples and for the benchmark tables to be
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace ssvsp {
+
+/// SplitMix64: used only to expand a 64-bit seed into xoshiro's state.
+/// Reference: Vigna, "Further scramblings of Marsaglia's xorshift generators".
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Deterministic xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  /// Raw 64 bits.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniformReal();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Uniformly chosen element index for a container of given size (> 0).
+  std::size_t index(std::size_t size);
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniformly random subset of {0..n-1} represented as a 64-bit mask.
+  std::uint64_t subsetMask(int n);
+
+  /// Derive an independent child generator (for per-process streams).
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace ssvsp

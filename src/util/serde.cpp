@@ -1,0 +1,55 @@
+#include "util/serde.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ssvsp {
+
+PayloadWriter& PayloadWriter::putValueList(const std::vector<Value>& vs) {
+  std::vector<Value> sorted = vs;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  putInt(static_cast<std::int32_t>(sorted.size()));
+  for (Value v : sorted) putValue(v);
+  return *this;
+}
+
+PayloadWriter& PayloadWriter::putProcessSet(ProcessSet s) {
+  const std::uint64_t mask = s.mask();
+  putInt(static_cast<std::int32_t>(mask & 0xffffffffULL));
+  putInt(static_cast<std::int32_t>(mask >> 32));
+  return *this;
+}
+
+std::int32_t PayloadReader::getInt() {
+  SSVSP_CHECK_MSG(pos_ < buf_.size(), "payload underflow at word " << pos_);
+  return buf_[pos_++];
+}
+
+std::vector<Value> PayloadReader::getValueList() {
+  const std::int32_t count = getInt();
+  SSVSP_CHECK_MSG(count >= 0, "negative list length " << count);
+  std::vector<Value> vs;
+  vs.reserve(static_cast<std::size_t>(count));
+  for (std::int32_t i = 0; i < count; ++i) vs.push_back(getValue());
+  return vs;
+}
+
+ProcessSet PayloadReader::getProcessSet() {
+  const auto lo = static_cast<std::uint32_t>(getInt());
+  const auto hi = static_cast<std::uint32_t>(getInt());
+  return ProcessSet::fromMask(static_cast<std::uint64_t>(hi) << 32 | lo);
+}
+
+std::string payloadToString(const Payload& p) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << p[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,66 @@
+// Payload encoding for simulated messages.
+//
+// Messages in the step-level simulators carry an opaque vector of int32
+// words; algorithms encode their fields through PayloadWriter and decode
+// them through PayloadReader.  Keeping payloads as plain ints makes traces
+// printable and run comparison (indistinguishability arguments!) a plain
+// vector compare.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/process_set.hpp"
+#include "util/types.hpp"
+
+namespace ssvsp {
+
+using Payload = std::vector<std::int32_t>;
+
+class PayloadWriter {
+ public:
+  PayloadWriter& putInt(std::int32_t v) {
+    buf_.push_back(v);
+    return *this;
+  }
+  PayloadWriter& putValue(Value v) { return putInt(v); }
+  PayloadWriter& putProcess(ProcessId p) { return putInt(p); }
+  PayloadWriter& putBool(bool b) { return putInt(b ? 1 : 0); }
+
+  /// Length-prefixed sorted list of values (a FloodSet W set).
+  PayloadWriter& putValueList(const std::vector<Value>& vs);
+
+  /// ProcessSet as two int32 words (low, high mask halves).
+  PayloadWriter& putProcessSet(ProcessSet s);
+
+  Payload take() && { return std::move(buf_); }
+  const Payload& peek() const { return buf_; }
+
+ private:
+  Payload buf_;
+};
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(const Payload& p) : buf_(p) {}
+
+  std::int32_t getInt();
+  Value getValue() { return getInt(); }
+  ProcessId getProcess() { return getInt(); }
+  bool getBool() { return getInt() != 0; }
+  std::vector<Value> getValueList();
+  ProcessSet getProcessSet();
+
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  const Payload& buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Human-readable payload rendering for traces.
+std::string payloadToString(const Payload& p);
+
+}  // namespace ssvsp

@@ -1,0 +1,55 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+void Stats::add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  sortedDirty_ = true;
+}
+
+double Stats::min() const {
+  SSVSP_CHECK(!empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Stats::max() const {
+  SSVSP_CHECK(!empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Stats::mean() const {
+  SSVSP_CHECK(!empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Stats::stddev() const {
+  SSVSP_CHECK(!empty());
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Stats::percentile(double q) const {
+  SSVSP_CHECK(!empty());
+  SSVSP_CHECK(q >= 0.0 && q <= 100.0);
+  if (sortedDirty_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sortedDirty_ = false;
+  }
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = q / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+}  // namespace ssvsp

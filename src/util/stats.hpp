@@ -1,0 +1,34 @@
+// Streaming statistics accumulator used by the benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ssvsp {
+
+/// Accumulates a sample of doubles and answers summary queries.  Percentile
+/// queries sort a copy lazily; the accumulator is meant for benchmark-sized
+/// samples (thousands of points), not telemetry streams.
+class Stats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const { return sum_; }
+  /// Population standard deviation.
+  double stddev() const;
+  /// Nearest-rank percentile, q in [0, 100].
+  double percentile(double q) const;
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  mutable std::vector<double> sorted_;
+  mutable bool sortedDirty_ = true;
+};
+
+}  // namespace ssvsp

@@ -1,0 +1,49 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SSVSP_CHECK(!headers_.empty());
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  SSVSP_CHECK_MSG(cells.size() == headers_.size(),
+                  "row has " << cells.size() << " cells, expected "
+                             << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto printRow = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      os << (c + 1 == row.size() ? " |" : " | ");
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  printRow(headers_);
+  os << "|-";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c], '-');
+    os << (c + 1 == widths.size() ? "-|" : "-|-");
+  }
+  os << '\n';
+  for (const auto& row : rows_) printRow(row);
+}
+
+}  // namespace ssvsp

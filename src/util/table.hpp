@@ -1,0 +1,53 @@
+// Console table printer.
+//
+// Every bench binary regenerates one of the paper's artifacts as an aligned
+// ASCII table ("paper claim" column next to "measured" column).  This tiny
+// formatter keeps those tables consistent across binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ssvsp {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: build a row from heterogeneous streamable values.
+  template <class... Ts>
+  void addRowValues(const Ts&... vals) {
+    addRow({toCell(vals)...});
+  }
+
+  /// Renders with column alignment, a header rule, and a title if set.
+  void print(std::ostream& os) const;
+
+  void setTitle(std::string title) { title_ = std::move(title); }
+
+ private:
+  template <class T>
+  static std::string toCell(const T& v);
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ssvsp
+
+#include <sstream>
+
+namespace ssvsp {
+template <class T>
+std::string Table::toCell(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+}  // namespace ssvsp

@@ -1,0 +1,45 @@
+// Core vocabulary types shared by every module of the ssvsp library.
+//
+// The paper (Charron-Bost, Guerraoui, Schiper; DSN 2000) works with a system
+// Pi = {p1..pn} of processes, a discrete global clock T = N that processes
+// cannot read, and proposal/decision values drawn from a totally ordered set
+// V.  We fix V = int32_t and identify processes by dense indices 0..n-1.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ssvsp {
+
+/// Dense process index in [0, n).  The paper's p_i maps to ProcessId i-1.
+using ProcessId = int;
+
+/// Discrete global-clock tick (the paper's T = N).  Processes never read it;
+/// it exists so that runs <F, C0, S, T> and failure-detector histories
+/// H(p, t) can be expressed and checked.
+using Time = std::int64_t;
+
+/// Round number in the round-based models RS / RWS.  Rounds are 1-based to
+/// match the paper's pseudo-code ("rounds := rounds + 1" before use).
+using Round = int;
+
+/// Consensus proposal/decision value (the paper's totally ordered set V).
+using Value = std::int32_t;
+
+/// Sentinel: "no process".
+inline constexpr ProcessId kNoProcess = -1;
+
+/// Sentinel: "never" (e.g. a process that never crashes).
+inline constexpr Time kNever = std::numeric_limits<Time>::max();
+
+/// Sentinel round used for "crashes in no round".
+inline constexpr Round kNoRound = std::numeric_limits<Round>::max();
+
+/// Sentinel decision used before a process decides (the paper's `unknown`).
+inline constexpr Value kUndecided = std::numeric_limits<Value>::min();
+
+/// Hard upper bound on the system size.  ProcessSet packs membership into a
+/// single 64-bit word; every simulator in this library checks n <= kMaxProcs.
+inline constexpr int kMaxProcs = 64;
+
+}  // namespace ssvsp

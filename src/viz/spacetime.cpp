@@ -1,0 +1,181 @@
+#include "viz/spacetime.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+std::string renderRoundRun(const RoundRunResult& run) {
+  std::ostringstream os;
+  const int n = run.cfg.n;
+  os << ssvsp::toString(run.model) << " n=" << n << " t=" << run.cfg.t
+     << "  " << run.script.toString() << "\n";
+
+  // Column headers.
+  os << "round |";
+  for (ProcessId p = 0; p < n; ++p) {
+    std::ostringstream h;
+    h << " p" << p;
+    os << h.str() << std::string(h.str().size() < 8 ? 8 - h.str().size() : 1,
+                                 ' ')
+       << "|";
+  }
+  os << "\n";
+
+  for (Round r = 1; r <= run.roundsExecuted; ++r) {
+    std::ostringstream row;
+    row << std::string(5 - std::to_string(r).size(), ' ') << r << " |";
+    for (ProcessId p = 0; p < n; ++p) {
+      const Round crash = run.script.crashRound(p);
+      std::string cell;
+      if (crash != kNoRound && crash < r) {
+        cell = "-";  // already dead
+      } else if (crash == r) {
+        cell = "X->" + run.script.sendSubset(p, n).toString();
+      } else {
+        cell = "B";
+        if (run.decisionRound[static_cast<std::size_t>(p)] == r)
+          cell += " d=" + std::to_string(
+                              *run.decision[static_cast<std::size_t>(p)]);
+      }
+      row << " " << cell;
+      const std::size_t width = cell.size() + 1;
+      if (width < 9) row << std::string(9 - width, ' ');
+      row << "|";
+    }
+    os << row.str() << "\n";
+
+    // Deliveries of this round, if traced.
+    bool headerDone = false;
+    for (const RoundDelivery& d : run.deliveries) {
+      if (d.deliveredRound != r) continue;
+      if (!headerDone) {
+        os << "      deliveries:";
+        headerDone = true;
+      }
+      os << " p" << d.src << ">p" << d.dst;
+      if (d.sentRound != r) os << "(sent r" << d.sentRound << ")";
+    }
+    if (headerDone) os << "\n";
+  }
+
+  os << "faulty=" << run.faulty.toString()
+     << " correct=" << run.correct.toString() << "\n";
+  return os.str();
+}
+
+std::string renderStepTrace(const RunTrace& trace, std::int64_t maxSteps) {
+  std::ostringstream os;
+  os << "step  time  proc  action\n";
+  std::int64_t shown = 0;
+  for (const StepRecord& s : trace.steps()) {
+    if (maxSteps > 0 && shown++ >= maxSteps) {
+      os << "... (" << (trace.numSteps() - maxSteps) << " more steps)\n";
+      break;
+    }
+    std::ostringstream line;
+    line << s.globalStep;
+    os << line.str() << std::string(line.str().size() < 6
+                                        ? 6 - line.str().size()
+                                        : 1,
+                                    ' ');
+    std::ostringstream t;
+    t << s.time;
+    os << t.str() << std::string(t.str().size() < 6 ? 6 - t.str().size() : 1,
+                                 ' ');
+    os << "p" << s.pid << "    ";
+    bool any = false;
+    for (const Envelope& e : s.delivered) {
+      os << (any ? ", " : "") << "recv<-p" << e.src;
+      any = true;
+    }
+    if (!s.suspected.empty()) {
+      os << (any ? ", " : "") << "suspects " << s.suspected.toString();
+      any = true;
+    }
+    if (s.sent.has_value()) {
+      os << (any ? ", " : "") << "send->p" << s.sent->dst;
+      any = true;
+    }
+    if (s.outputAfter.has_value()) {
+      os << (any ? ", " : "") << "output=" << *s.outputAfter;
+      any = true;
+    }
+    if (!any) os << "(null step)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string toDot(const RunTrace& trace) {
+  std::ostringstream os;
+  os << "digraph run {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+
+  // Timeline nodes per process.
+  std::map<ProcessId, std::vector<std::int64_t>> stepsOf;
+  for (const StepRecord& s : trace.steps())
+    stepsOf[s.pid].push_back(s.globalStep);
+
+  for (const auto& [p, steps] : stepsOf) {
+    os << "  subgraph cluster_p" << p << " {\n    label=\"p" << p << "\";\n";
+    for (std::size_t i = 0; i < steps.size(); ++i)
+      os << "    s" << steps[i] << " [label=\"#" << steps[i] << "\"];\n";
+    for (std::size_t i = 0; i + 1 < steps.size(); ++i)
+      os << "    s" << steps[i] << " -> s" << steps[i + 1]
+         << " [style=bold];\n";
+    os << "  }\n";
+  }
+
+  // Message edges: from the sending step to the receiving step.
+  std::map<std::int64_t, std::int64_t> sentAt;  // seq -> global step
+  for (const StepRecord& s : trace.steps())
+    if (s.sent.has_value()) sentAt[s.sent->seq] = s.globalStep;
+  for (const StepRecord& s : trace.steps())
+    for (const Envelope& e : s.delivered) {
+      auto it = sentAt.find(e.seq);
+      if (it == sentAt.end()) continue;
+      os << "  s" << it->second << " -> s" << s.globalStep
+         << " [color=blue, constraint=false, label=\"m" << e.seq << "\"];\n";
+    }
+
+  os << "}\n";
+  return os.str();
+}
+
+std::string roundRunToDot(const RoundRunResult& run) {
+  SSVSP_CHECK_MSG(!run.deliveries.empty() || run.roundsExecuted == 0 ||
+                      run.cfg.n == 0,
+                  "roundRunToDot requires traceDeliveries = true");
+  std::ostringstream os;
+  os << "digraph rounds {\n  rankdir=LR;\n  node [shape=circle, "
+        "fontsize=10];\n";
+  const int n = run.cfg.n;
+  for (ProcessId p = 0; p < n; ++p) {
+    const Round crash = run.script.crashRound(p);
+    for (Round r = 0; r <= run.roundsExecuted; ++r) {
+      if (crash != kNoRound && r > crash) break;
+      os << "  n" << p << "_" << r << " [label=\"p" << p << "@r" << r << "\"";
+      if (crash == r) os << ", color=red";
+      if (run.decisionRound[static_cast<std::size_t>(p)] == r)
+        os << ", shape=doublecircle";
+      os << "];\n";
+      if (r > 0)
+        os << "  n" << p << "_" << (r - 1) << " -> n" << p << "_" << r
+           << " [style=bold];\n";
+    }
+  }
+  for (const RoundDelivery& d : run.deliveries) {
+    os << "  n" << d.src << "_" << (d.sentRound - 1) << " -> n" << d.dst
+       << "_" << d.deliveredRound << " [color=blue";
+    if (d.deliveredRound != d.sentRound) os << ", style=dashed";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,38 @@
+// Run visualization: ASCII space-time diagrams and Graphviz export.
+//
+// Counterexamples found by the model checker (pending-message tunnels,
+// decide-then-crash scenarios, the Theorem 3.1 run pair) are far easier to
+// audit as diagrams than as logs.  renderRoundRun draws a round-by-round
+// grid; renderStepTrace draws the step-level schedule with message arrows;
+// toDot emits a Graphviz digraph of the message flow for papers/slides.
+#pragma once
+
+#include <string>
+
+#include "rounds/engine.hpp"
+#include "runtime/trace.hpp"
+
+namespace ssvsp {
+
+/// Round-level grid.  One row per round; one column per process showing
+/// what it did that round:
+///   "B"  sent (broadcast phase produced at least one message)
+///   "d=v" decided value v this round
+///   "X"  crashed this round (partial broadcast per the script)
+///   "."  idle/silent
+/// Deliveries (if traced) are listed under each round.
+std::string renderRoundRun(const RoundRunResult& run);
+
+/// Step-level space-time diagram.  One row per global step: the acting
+/// process, its local step, receive/send/suspect/decide annotations.
+/// `maxSteps` truncates long traces (0 = everything).
+std::string renderStepTrace(const RunTrace& trace, std::int64_t maxSteps = 0);
+
+/// Graphviz digraph of a step trace: nodes are (process, local step),
+/// vertical edges are process timelines, cross edges are messages.
+std::string toDot(const RunTrace& trace);
+
+/// Graphviz digraph of a traced round run (requires traceDeliveries).
+std::string roundRunToDot(const RoundRunResult& run);
+
+}  // namespace ssvsp

@@ -1,0 +1,182 @@
+// Tests for the rotating-coordinator consensus on the asynchronous
+// step-level model with unreliable failure detectors — the weaker-detector
+// end of the paper's spectrum.  Uniform agreement and validity must hold on
+// every run; termination requires t < n/2 and an eventually-strong
+// detector.
+#include <gtest/gtest.h>
+
+#include "async_consensus/rotating.hpp"
+#include "fd/failure_detectors.hpp"
+#include "runtime/executor.hpp"
+
+namespace ssvsp {
+namespace {
+
+struct AsyncRun {
+  std::vector<std::optional<Value>> decisions;
+  bool allCorrectDecided = false;
+  std::int64_t steps = 0;
+};
+
+AsyncRun runRotating(const std::vector<Value>& initial,
+                     FailurePattern pattern, FailureDetectorSource& fd,
+                     std::uint64_t seed, std::int64_t maxSteps = 60000,
+                     std::int64_t maxDelay = 5) {
+  const int n = static_cast<int>(initial.size());
+  ExecutorConfig cfg;
+  cfg.n = n;
+  cfg.maxSteps = maxSteps;
+  Rng rng(seed);
+  RandomScheduler sched(n, rng.fork());
+  RandomBoundedDelivery delivery(rng.fork(), maxDelay);
+  Executor ex(cfg, makeRotatingConsensus(initial), std::move(pattern), sched,
+              delivery, &fd);
+  const auto trace =
+      ex.run([](const Executor& e) { return e.allCorrectDecided(); });
+  AsyncRun out;
+  out.steps = trace.numSteps();
+  out.allCorrectDecided = ex.allCorrectDecided();
+  for (ProcessId p = 0; p < n; ++p) out.decisions.push_back(ex.output(p));
+  return out;
+}
+
+void expectUniformAgreementAndValidity(const AsyncRun& run,
+                                       const std::vector<Value>& initial) {
+  std::optional<Value> agreed;
+  for (const auto& d : run.decisions) {
+    if (!d.has_value()) continue;
+    if (!agreed.has_value()) agreed = d;
+    ASSERT_EQ(*agreed, *d) << "uniform agreement violated";
+    ASSERT_NE(std::find(initial.begin(), initial.end(), *d), initial.end())
+        << "decision was never proposed";
+  }
+}
+
+TEST(Rotating, FailureFreeDecidesWithPerfectFd) {
+  const std::vector<Value> initial{5, 9, 2};
+  FailurePattern pattern(3);
+  PerfectFailureDetector fd(pattern, 0);
+  const auto run = runRotating(initial, pattern, fd, 1);
+  EXPECT_TRUE(run.allCorrectDecided);
+  expectUniformAgreementAndValidity(run, initial);
+  // Round 1's coordinator is p0, so its estimate wins.
+  for (const auto& d : run.decisions) EXPECT_EQ(*d, 5);
+}
+
+TEST(Rotating, CoordinatorCrashIsCircumvented) {
+  const std::vector<Value> initial{5, 9, 2};
+  FailurePattern pattern(3);
+  pattern.setCrash(0, 1);  // round-1 coordinator initially dead
+  PerfectFailureDetector fd(pattern, 3);
+  const auto run = runRotating(initial, pattern, fd, 2);
+  EXPECT_TRUE(run.allCorrectDecided);
+  expectUniformAgreementAndValidity(run, initial);
+  EXPECT_FALSE(run.decisions[0].has_value());
+}
+
+TEST(Rotating, WorksWithEventuallyStrongDetector) {
+  const std::vector<Value> initial{7, 3, 8, 1, 6};
+  FailurePattern pattern(5);
+  pattern.setCrash(2, 40);
+  // Aggressive false suspicions before gst = 500; p0 immune afterwards.
+  EventuallyStrongFailureDetector fd(pattern, /*immune=*/0, /*gst=*/500,
+                                     /*rate=*/0.3, /*seed=*/99);
+  const auto run = runRotating(initial, pattern, fd, 3, 120000);
+  EXPECT_TRUE(run.allCorrectDecided);
+  expectUniformAgreementAndValidity(run, initial);
+}
+
+TEST(Rotating, WorksWithEventuallyPerfectDetector) {
+  const std::vector<Value> initial{4, 4, 9};
+  FailurePattern pattern(3);
+  EventuallyPerfectFailureDetector fd(pattern, /*gst=*/300, /*rate=*/0.2,
+                                      /*seed=*/12);
+  const auto run = runRotating(initial, pattern, fd, 4, 120000);
+  EXPECT_TRUE(run.allCorrectDecided);
+  expectUniformAgreementAndValidity(run, initial);
+}
+
+TEST(Rotating, UnanimousProposalsDecideThatValue) {
+  const std::vector<Value> initial{6, 6, 6, 6, 6};
+  FailurePattern pattern(5);
+  PerfectFailureDetector fd(pattern, 0);
+  const auto run = runRotating(initial, pattern, fd, 5);
+  for (const auto& d : run.decisions) EXPECT_EQ(*d, 6);
+}
+
+class RotatingSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RotatingSweep, SafetyAndLivenessUnderAdversity) {
+  const auto [n, crashes] = GetParam();
+  ASSERT_LT(crashes, (n + 1) / 2) << "liveness needs a correct majority";
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 1009 + static_cast<std::uint64_t>(n * 10 + crashes));
+    std::vector<Value> initial(static_cast<std::size_t>(n));
+    for (auto& v : initial) v = static_cast<Value>(rng.uniformInt(0, 4));
+    FailurePattern pattern(n);
+    std::vector<ProcessId> ids(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(ids);
+    for (int i = 0; i < crashes; ++i)
+      pattern.setCrash(ids[static_cast<std::size_t>(i)],
+                       rng.uniformInt(1, 2000));
+
+    EventuallyStrongFailureDetector fd(
+        pattern, /*immune=*/ids[static_cast<std::size_t>(crashes)],
+        /*gst=*/1500, /*rate=*/0.15, /*seed=*/seed * 7);
+    const auto run = runRotating(initial, pattern, fd, seed * 13, 250000);
+    ASSERT_TRUE(run.allCorrectDecided)
+        << "n=" << n << " crashes=" << crashes << " seed=" << seed
+        << " steps=" << run.steps;
+    expectUniformAgreementAndValidity(run, initial);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RotatingSweep,
+                         ::testing::Values(std::make_tuple(3, 1),
+                                           std::make_tuple(5, 1),
+                                           std::make_tuple(5, 2),
+                                           std::make_tuple(7, 3)),
+                         [](const auto& info) {
+                           return "n" + std::to_string(std::get<0>(info.param)) +
+                                  "f" + std::to_string(std::get<1>(info.param));
+                         });
+
+TEST(Rotating, SafetyHoldsEvenWithoutMajority) {
+  // t >= n/2 kills liveness, never safety: with 2 of 3 crashed the run
+  // cannot decide, but no disagreement or invalid decision ever appears.
+  const std::vector<Value> initial{5, 9, 2};
+  FailurePattern pattern(3);
+  pattern.setCrash(1, 1);  // initially dead
+  pattern.setCrash(2, 1);
+  PerfectFailureDetector fd(pattern, 0);
+  const auto run = runRotating(initial, pattern, fd, 6, /*maxSteps=*/20000);
+  EXPECT_FALSE(run.allCorrectDecided);  // blocked: no majority of estimates
+  expectUniformAgreementAndValidity(run, initial);
+}
+
+TEST(Rotating, DecisionIsRelayedToLateProcesses) {
+  // The decision must reach a process that was lagging in an earlier round.
+  const std::vector<Value> initial{3, 1, 4, 1, 5};
+  FailurePattern pattern(5);
+  PerfectFailureDetector fd(pattern, 0);
+  // Heavily biased scheduler: p4 runs rarely.
+  const int n = 5;
+  ExecutorConfig cfg;
+  cfg.n = n;
+  cfg.maxSteps = 120000;
+  Rng rng(17);
+  RandomScheduler sched(n, rng.fork());
+  sched.setWeight(4, 0.02);
+  RandomBoundedDelivery delivery(rng.fork(), 4);
+  Executor ex(cfg, makeRotatingConsensus(initial), pattern, sched, delivery,
+              &fd);
+  ex.run([](const Executor& e) { return e.allCorrectDecided(); });
+  ASSERT_TRUE(ex.allCorrectDecided());
+  for (ProcessId p = 0; p < n; ++p)
+    EXPECT_EQ(*ex.output(p), *ex.output(0));
+}
+
+}  // namespace
+}  // namespace ssvsp

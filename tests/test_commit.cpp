@@ -1,0 +1,197 @@
+// Tests for the atomic-commit module: NBAC spec conformance in both round
+// models, and the RS-commits-more-often phenomenon the paper derives from
+// SDD solvability (Section 3).
+#include <gtest/gtest.h>
+
+#include "commit/commit.hpp"
+#include "mc/checker.hpp"
+#include "rounds/adversary.hpp"
+#include "rounds/spec.hpp"
+
+namespace ssvsp {
+namespace {
+
+RoundConfig cfgOf(int n, int t) {
+  RoundConfig c;
+  c.n = n;
+  c.t = t;
+  return c;
+}
+
+RoundRunResult runCommit(RoundModel model, int n, int t,
+                         std::vector<Value> votes,
+                         const FailureScript& script) {
+  RoundEngineOptions opt;
+  opt.horizon = t + 3;
+  const auto factory =
+      model == RoundModel::kRs ? makeCommitRs() : makeCommitRws();
+  return runRounds(cfgOf(n, t), model, factory, std::move(votes), script, opt);
+}
+
+TEST(CommitRs, AllYesFailureFreeCommits) {
+  const auto run = runCommit(RoundModel::kRs, 4, 1, {1, 1, 1, 1},
+                             noFailures());
+  const auto v = checkNbac(run);
+  EXPECT_TRUE(v.ok()) << v.witness;
+  for (ProcessId p = 0; p < 4; ++p)
+    EXPECT_EQ(*run.decision[static_cast<std::size_t>(p)], kDecideCommit);
+}
+
+TEST(CommitRs, SingleNoVoteAborts) {
+  const auto run = runCommit(RoundModel::kRs, 4, 1, {1, 1, 0, 1},
+                             noFailures());
+  const auto v = checkNbac(run);
+  EXPECT_TRUE(v.ok()) << v.witness;
+  for (ProcessId p = 0; p < 4; ++p)
+    EXPECT_EQ(*run.decision[static_cast<std::size_t>(p)], kDecideAbort);
+}
+
+TEST(CommitRs, InitiallyDeadVoterForcesAbort) {
+  // An initially dead process's vote is unknowable: Abort (allowed: a
+  // failure occurred).
+  const auto run = runCommit(RoundModel::kRs, 4, 2, {1, 1, 1, 1},
+                             initialCrashes(4, 1));
+  const auto v = checkNbac(run);
+  EXPECT_TRUE(v.ok()) << v.witness;
+  EXPECT_EQ(*run.decision[0], kDecideAbort);
+}
+
+TEST(CommitRs, CrashAfterVoteEscapesStillCommits) {
+  // The paper's SS claim: all-Yes with no initially dead process can commit
+  // DESPITE failures.  p3 crashes in round 1 but its vote reaches p0, which
+  // floods it.
+  FailureScript script;
+  script.crashes.push_back({3, 1, ProcessSet{0}});
+  const auto run =
+      runCommit(RoundModel::kRs, 4, 2, {1, 1, 1, 1}, script);
+  const auto v = checkNbac(run);
+  EXPECT_TRUE(v.ok()) << v.witness;
+  for (ProcessId p = 0; p < 3; ++p)
+    EXPECT_EQ(*run.decision[static_cast<std::size_t>(p)], kDecideCommit);
+}
+
+TEST(CommitRws, PendingVoteForcesAbortWhereRsCommits) {
+  // Same crash pattern, but in RWS the dying voter's messages go pending
+  // and vanish: survivors must abort.  This is the SDD gap, quantified.
+  FailureScript rsScript;
+  rsScript.crashes.push_back({3, 1, ProcessSet::full(4)});
+  const auto rs = runCommit(RoundModel::kRs, 4, 1, {1, 1, 1, 1}, rsScript);
+  EXPECT_EQ(*rs.decision[0], kDecideCommit);
+
+  FailureScript rwsScript = rsScript;
+  for (ProcessId dst = 0; dst < 3; ++dst)
+    rwsScript.pendings.push_back({3, dst, 1, kNoRound});
+  const auto rws =
+      runCommit(RoundModel::kRws, 4, 1, {1, 1, 1, 1}, rwsScript);
+  const auto v = checkNbac(rws);
+  EXPECT_TRUE(v.ok()) << v.witness;
+  EXPECT_EQ(*rws.decision[0], kDecideAbort);
+}
+
+TEST(CommitExhaustive, RsSatisfiesNbacN3T1) {
+  // NBAC model check: wrap checkNbac over the full script space by reusing
+  // the enumerator directly.
+  EnumOptions e;
+  e.horizon = 3;
+  e.maxCrashes = 1;
+  RoundEngineOptions opt;
+  opt.horizon = 4;
+  const auto votes = allInitialConfigs(3, 2);
+  forEachScript(cfgOf(3, 1), RoundModel::kRs, e,
+                [&](const FailureScript& script) {
+                  for (const auto& vs : votes) {
+                    const auto run = runRounds(cfgOf(3, 1), RoundModel::kRs,
+                                               makeCommitRs(), vs, script, opt);
+                    const auto v = checkNbac(run);
+                    EXPECT_TRUE(v.ok()) << v.witness << "\n" << run.toString();
+                  }
+                  return !::testing::Test::HasFailure();
+                });
+}
+
+TEST(CommitExhaustive, RwsSatisfiesNbacN3T1) {
+  EnumOptions e;
+  e.horizon = 3;
+  e.maxCrashes = 1;
+  e.pendingLags = {1, 0};
+  RoundEngineOptions opt;
+  opt.horizon = 4;
+  const auto votes = allInitialConfigs(3, 2);
+  forEachScript(cfgOf(3, 1), RoundModel::kRws, e,
+                [&](const FailureScript& script) {
+                  for (const auto& vs : votes) {
+                    const auto run =
+                        runRounds(cfgOf(3, 1), RoundModel::kRws,
+                                  makeCommitRws(), vs, script, opt);
+                    const auto v = checkNbac(run);
+                    EXPECT_TRUE(v.ok()) << v.witness << "\n" << run.toString();
+                  }
+                  return !::testing::Test::HasFailure();
+                });
+}
+
+TEST(CommitExhaustive, PlainCommitFloodViolatesAgreementInRws) {
+  // Ablation: the RS protocol (no halt set) run in RWS loses uniform
+  // agreement, exactly like FloodSet.
+  EnumOptions e;
+  e.horizon = 4;
+  e.maxCrashes = 2;
+  e.pendingLags = {1, 0};
+  RoundEngineOptions opt;
+  opt.horizon = 5;
+  bool violated = false;
+  forEachScript(cfgOf(3, 2), RoundModel::kRws, e,
+                [&](const FailureScript& script) {
+                  for (const auto& vs : allInitialConfigs(3, 2)) {
+                    const auto run = runRounds(cfgOf(3, 2), RoundModel::kRws,
+                                               makeCommitRs(), vs, script, opt);
+                    if (!checkNbac(run).agreement) {
+                      violated = true;
+                      return false;
+                    }
+                  }
+                  return true;
+                });
+  EXPECT_TRUE(violated);
+}
+
+TEST(CommitRate, RsCommitsAtLeastAsOftenAsRws) {
+  // Matched adversary distributions, all-Yes votes: count commits.
+  const int n = 4, t = 2;
+  Rng rng(2025);
+  SamplerOptions so;
+  so.forcedCrashes = 1;
+  ScriptSampler rsSampler(cfgOf(n, t), RoundModel::kRs, t + 1, so);
+  ScriptSampler rwsSampler(cfgOf(n, t), RoundModel::kRws, t + 1, so);
+  const std::vector<Value> votes(static_cast<std::size_t>(n), kVoteYes);
+  int rsCommits = 0, rwsCommits = 0;
+  const int kTrials = 400;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto rs =
+        runCommit(RoundModel::kRs, n, t, votes, rsSampler.sample(rng));
+    const auto rws =
+        runCommit(RoundModel::kRws, n, t, votes, rwsSampler.sample(rng));
+    for (ProcessId p : rs.correct)
+      if (*rs.decision[static_cast<std::size_t>(p)] == kDecideCommit) {
+        ++rsCommits;
+        break;
+      }
+    for (ProcessId p : rws.correct)
+      if (*rws.decision[static_cast<std::size_t>(p)] == kDecideCommit) {
+        ++rwsCommits;
+        break;
+      }
+  }
+  EXPECT_GT(rsCommits, rwsCommits);
+  EXPECT_GT(rwsCommits, 0);  // RWS still commits when no vote goes pending
+}
+
+TEST(CommitFlood, RejectsNonBinaryVote) {
+  RoundEngineOptions opt;
+  EXPECT_THROW(runRounds(cfgOf(2, 0), RoundModel::kRs, makeCommitRs(), {1, 7},
+                         noFailures(), opt),
+               InvariantViolation);
+}
+
+}  // namespace
+}  // namespace ssvsp

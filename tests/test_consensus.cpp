@@ -1,0 +1,366 @@
+// Tests for the paper's uniform-consensus algorithms (Figures 1-4):
+// correctness in their intended models, the latency claims of Section 5, and
+// the disagreement scenarios that separate RS from RWS.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "consensus/registry.hpp"
+#include "rounds/adversary.hpp"
+#include "rounds/engine.hpp"
+#include "rounds/spec.hpp"
+
+namespace ssvsp {
+namespace {
+
+RoundConfig cfgOf(int n, int t) {
+  RoundConfig c;
+  c.n = n;
+  c.t = t;
+  return c;
+}
+
+RoundRunResult runAlgo(const std::string& name, RoundModel model, int n, int t,
+                       std::vector<Value> initial, const FailureScript& script,
+                       int horizon = -1) {
+  RoundEngineOptions opt;
+  opt.horizon = horizon > 0 ? horizon : t + 3;
+  return runRounds(cfgOf(n, t), model, algorithmByName(name).factory,
+                   std::move(initial), script, opt);
+}
+
+std::vector<Value> spreadValues(int n, Rng& rng, int domain = 3) {
+  std::vector<Value> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<Value>(rng.uniformInt(0, domain - 1));
+  return v;
+}
+
+// ---------------------------------------------------------------- FloodSet
+
+TEST(FloodSetRs, FailureFreeDecidesMinAtRoundTPlus1) {
+  const auto run =
+      runAlgo("FloodSet", RoundModel::kRs, 4, 2, {7, 3, 9, 5}, noFailures());
+  const UcVerdict v = checkUniformConsensus(run);
+  EXPECT_TRUE(v.ok()) << v.witness;
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(*run.decision[static_cast<std::size_t>(p)], 3);
+    EXPECT_EQ(run.decisionRound[static_cast<std::size_t>(p)], 3);  // t+1
+  }
+  EXPECT_EQ(run.latency(), 3);
+}
+
+TEST(FloodSetRs, SilentInitialCrashExcludesValue) {
+  // p2 (holding the minimum) dies before sending: its value must not leak.
+  const auto run = runAlgo("FloodSet", RoundModel::kRs, 3, 1, {5, 6, 1},
+                           initialCrashes(3, 1));
+  const UcVerdict v = checkUniformConsensus(run);
+  EXPECT_TRUE(v.ok()) << v.witness;
+  EXPECT_EQ(*run.decision[0], 5);
+  EXPECT_EQ(*run.decision[1], 5);
+  EXPECT_FALSE(run.decision[2].has_value());
+}
+
+TEST(FloodSetRs, PartialCrashStillAgrees) {
+  // p0 holds the minimum and reaches only p1 before dying; flooding must
+  // carry the value to p2 in round 2.
+  FailureScript script;
+  script.crashes.push_back({0, 1, ProcessSet{1}});
+  const auto run =
+      runAlgo("FloodSet", RoundModel::kRs, 3, 1, {0, 6, 7}, script);
+  const UcVerdict v = checkUniformConsensus(run);
+  EXPECT_TRUE(v.ok()) << v.witness;
+  EXPECT_EQ(*run.decision[1], 0);
+  EXPECT_EQ(*run.decision[2], 0);
+}
+
+// The paper's central negative example: FloodSet breaks in RWS.  Two
+// staggered pendings tunnel the minimum to exactly one (dying) process.
+FailureScript floodSetRwsBreaker() {
+  FailureScript script;
+  script.crashes.push_back({0, 2, ProcessSet{}});
+  script.crashes.push_back({1, 4, ProcessSet::full(3)});
+  script.pendings.push_back({0, 1, 1, 2});        // late minimum to p1
+  script.pendings.push_back({0, 2, 1, kNoRound});  // never reaches p2
+  script.pendings.push_back({1, 2, 3, kNoRound});  // p1's last flood lost
+  return script;
+}
+
+TEST(FloodSetRws, PendingMessagesBreakUniformAgreement) {
+  const auto run = runAlgo("FloodSet", RoundModel::kRws, 3, 2, {0, 1, 1},
+                           floodSetRwsBreaker());
+  const UcVerdict v = checkUniformConsensus(run);
+  EXPECT_FALSE(v.uniformAgreement) << "expected the documented disagreement";
+  // p1 decided the tunneled minimum, the correct p2 decided 1.
+  EXPECT_EQ(*run.decision[1], 0);
+  EXPECT_EQ(*run.decision[2], 1);
+}
+
+TEST(FloodSetWsRws, HaltSetNeutralizesTheSameScenario) {
+  const auto run = runAlgo("FloodSetWS", RoundModel::kRws, 3, 2, {0, 1, 1},
+                           floodSetRwsBreaker());
+  const UcVerdict v = checkUniformConsensus(run);
+  EXPECT_TRUE(v.ok()) << v.witness;
+  EXPECT_EQ(*run.decision[1], 1);
+  EXPECT_EQ(*run.decision[2], 1);
+}
+
+// Property sweep: FloodSet in RS and FloodSetWS in RWS across random
+// adversaries.
+class ConsensusSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(ConsensusSweep, FloodSetSolvesUcInRs) {
+  const auto [n, t, seed] = GetParam();
+  Rng rng(seed);
+  ScriptSampler sampler(cfgOf(n, t), RoundModel::kRs, t + 2);
+  for (int i = 0; i < 200; ++i) {
+    const auto script = sampler.sample(rng);
+    const auto run = runAlgo("FloodSet", RoundModel::kRs, n, t,
+                             spreadValues(n, rng), script);
+    const UcVerdict v = checkUniformConsensus(run);
+    ASSERT_TRUE(v.ok()) << v.witness << "\n" << run.toString();
+    ASSERT_LE(run.latency(), t + 1);
+  }
+}
+
+TEST_P(ConsensusSweep, FloodSetWsSolvesUcInRws) {
+  const auto [n, t, seed] = GetParam();
+  Rng rng(seed + 1);
+  ScriptSampler sampler(cfgOf(n, t), RoundModel::kRws, t + 2);
+  for (int i = 0; i < 200; ++i) {
+    const auto script = sampler.sample(rng);
+    const auto run = runAlgo("FloodSetWS", RoundModel::kRws, n, t,
+                             spreadValues(n, rng), script);
+    const UcVerdict v = checkUniformConsensus(run);
+    ASSERT_TRUE(v.ok()) << v.witness << "\n" << run.toString();
+    ASSERT_LE(run.latency(), t + 1);
+  }
+}
+
+TEST_P(ConsensusSweep, COptVariantsSolveUcInTheirModels) {
+  const auto [n, t, seed] = GetParam();
+  Rng rng(seed + 2);
+  for (auto [name, model] :
+       {std::pair<const char*, RoundModel>{"C_OptFloodSet", RoundModel::kRs},
+        {"C_OptFloodSetWS", RoundModel::kRws}}) {
+    ScriptSampler sampler(cfgOf(n, t), model, t + 2);
+    for (int i = 0; i < 150; ++i) {
+      const auto script = sampler.sample(rng);
+      const auto run = runAlgo(name, model, n, t, spreadValues(n, rng), script);
+      const UcVerdict v = checkUniformConsensus(run);
+      ASSERT_TRUE(v.ok()) << name << ": " << v.witness << "\n"
+                          << run.toString();
+    }
+  }
+}
+
+TEST_P(ConsensusSweep, FOptVariantsSolveUcInTheirModels) {
+  const auto [n, t, seed] = GetParam();
+  Rng rng(seed + 3);
+  for (auto [name, model] :
+       {std::pair<const char*, RoundModel>{"F_OptFloodSet", RoundModel::kRs},
+        {"F_OptFloodSetWS", RoundModel::kRws}}) {
+    ScriptSampler sampler(cfgOf(n, t), model, t + 2);
+    for (int i = 0; i < 150; ++i) {
+      const auto script = sampler.sample(rng);
+      const auto run = runAlgo(name, model, n, t, spreadValues(n, rng), script);
+      const UcVerdict v = checkUniformConsensus(run);
+      ASSERT_TRUE(v.ok()) << name << ": " << v.witness << "\n"
+                          << run.toString();
+    }
+  }
+}
+
+TEST_P(ConsensusSweep, EarlyFloodSetSolvesUcInRs) {
+  const auto [n, t, seed] = GetParam();
+  Rng rng(seed + 4);
+  ScriptSampler sampler(cfgOf(n, t), RoundModel::kRs, t + 2);
+  for (int i = 0; i < 200; ++i) {
+    const auto script = sampler.sample(rng);
+    const auto run = runAlgo("EarlyFloodSet", RoundModel::kRs, n, t,
+                             spreadValues(n, rng), script);
+    const UcVerdict v = checkUniformConsensus(run);
+    ASSERT_TRUE(v.ok()) << v.witness << "\n" << run.toString();
+    // Early decision: all correct decide by min(f+2, t+1).
+    const int f = script.faultyWithin(t + 2, n).size();
+    ASSERT_LE(run.latency(), std::min(f + 2, t + 1)) << run.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SystemSizes, ConsensusSweep,
+    ::testing::Values(std::make_tuple(3, 1, 101), std::make_tuple(3, 2, 102),
+                      std::make_tuple(4, 1, 103), std::make_tuple(4, 2, 104),
+                      std::make_tuple(4, 3, 105), std::make_tuple(5, 2, 106),
+                      std::make_tuple(6, 2, 107), std::make_tuple(6, 4, 108),
+                      std::make_tuple(7, 3, 109)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// -------------------------------------------------------------- C_Opt paths
+
+TEST(COpt, UnanimousFailureFreeDecidesAtRound1) {
+  for (auto [name, model] :
+       {std::pair<const char*, RoundModel>{"C_OptFloodSet", RoundModel::kRs},
+        {"C_OptFloodSetWS", RoundModel::kRws}}) {
+    const auto run = runAlgo(name, model, 4, 2, {6, 6, 6, 6}, noFailures());
+    const UcVerdict v = checkUniformConsensus(run);
+    ASSERT_TRUE(v.ok()) << name << ": " << v.witness;
+    EXPECT_EQ(run.latency(), 1) << name;
+    for (ProcessId p = 0; p < 4; ++p) EXPECT_EQ(*run.decision[p], 6);
+  }
+}
+
+TEST(COpt, MixedValuesFallBackToTPlus1) {
+  const auto run = runAlgo("C_OptFloodSet", RoundModel::kRs, 4, 2,
+                           {6, 6, 6, 2}, noFailures());
+  EXPECT_EQ(run.latency(), 3);
+  EXPECT_EQ(*run.decision[0], 2);
+}
+
+TEST(COpt, UnanimousButOneCrashFallsBack) {
+  // One silent crash: nobody hears from everyone, so the fast path is off.
+  const auto run = runAlgo("C_OptFloodSet", RoundModel::kRs, 4, 2,
+                           {6, 6, 6, 6}, initialCrashes(4, 1));
+  const UcVerdict v = checkUniformConsensus(run);
+  EXPECT_TRUE(v.ok()) << v.witness;
+  EXPECT_EQ(run.latency(), 3);
+}
+
+// -------------------------------------------------------------- F_Opt paths
+
+TEST(FOpt, TInitialCrashesDecideAtRound1) {
+  // Section 5.2: with t initial crashes every surviving process receives
+  // exactly n-t messages and decides at the end of round 1 — Lat(F_Opt) = 1.
+  for (auto [name, model] :
+       {std::pair<const char*, RoundModel>{"F_OptFloodSet", RoundModel::kRs},
+        {"F_OptFloodSetWS", RoundModel::kRws}}) {
+    const auto run =
+        runAlgo(name, model, 5, 2, {9, 4, 8, 1, 2}, initialCrashes(5, 2));
+    const UcVerdict v = checkUniformConsensus(run);
+    ASSERT_TRUE(v.ok()) << name << ": " << v.witness;
+    EXPECT_EQ(run.latency(), 1) << name;
+    // min over the surviving proposals {9, 4, 8}.
+    for (ProcessId p = 0; p < 3; ++p) EXPECT_EQ(*run.decision[p], 4) << name;
+  }
+}
+
+TEST(FOpt, FailureFreeRunsTakeTPlus1) {
+  const auto run = runAlgo("F_OptFloodSet", RoundModel::kRs, 5, 2,
+                           {9, 4, 8, 1, 2}, noFailures());
+  EXPECT_EQ(run.latency(), 3);
+  EXPECT_EQ(*run.decision[0], 1);
+}
+
+TEST(FOpt, ForcedDecisionPropagatesInRound2) {
+  // Exactly t = 2 initial crashes as seen by everyone: all survivors take
+  // the fast path.  Now make only SOME survivors see n-t: one crash is
+  // partial, reaching a single process, so exactly that process sees n-t+0…
+  // Construct: p3, p4 crash in round 1; p4 reaches only p0.  Then p0
+  // receives 4 messages (n-t+1 = 4? n=5,t=2: n-t=3) — p0 sees 4, p1/p2 see 3
+  // and decide at round 1; p0 is forced in round 2.
+  FailureScript script;
+  script.crashes.push_back({3, 1, ProcessSet{}});
+  script.crashes.push_back({4, 1, ProcessSet{0}});
+  const auto run =
+      runAlgo("F_OptFloodSet", RoundModel::kRs, 5, 2, {9, 4, 8, 1, 2}, script);
+  const UcVerdict v = checkUniformConsensus(run);
+  ASSERT_TRUE(v.ok()) << v.witness;
+  EXPECT_EQ(run.decisionRound[1], 1);
+  EXPECT_EQ(run.decisionRound[2], 1);
+  EXPECT_EQ(run.decisionRound[0], 2);  // forced by (D, v)
+  EXPECT_EQ(*run.decision[0], 4);
+}
+
+// --------------------------------------------------------------------- A1
+
+TEST(A1Rs, FailureFreeDecidesAtRound1) {
+  const auto run = runAlgo("A1", RoundModel::kRs, 4, 1, {3, 8, 9, 7},
+                           noFailures(), /*horizon=*/4);
+  const UcVerdict v = checkUniformConsensus(run);
+  ASSERT_TRUE(v.ok()) << v.witness;
+  EXPECT_EQ(run.latency(), 1);  // Lambda(A1) = 1
+  for (ProcessId p = 0; p < 4; ++p) EXPECT_EQ(*run.decision[p], 3);
+}
+
+TEST(A1Rs, P1SilentCrashFallsBackToP2) {
+  FailureScript script;
+  script.crashes.push_back({0, 1, ProcessSet{}});
+  const auto run =
+      runAlgo("A1", RoundModel::kRs, 4, 1, {3, 8, 9, 7}, script, 4);
+  const UcVerdict v = checkUniformConsensus(run);
+  ASSERT_TRUE(v.ok()) << v.witness;
+  EXPECT_EQ(run.latency(), 2);
+  for (ProcessId p = 1; p < 4; ++p) EXPECT_EQ(*run.decision[p], 8);
+}
+
+TEST(A1Rs, P1PartialCrashForcesV1ViaReports) {
+  FailureScript script;
+  script.crashes.push_back({0, 1, ProcessSet{2}});  // only p2 hears v1
+  const auto run =
+      runAlgo("A1", RoundModel::kRs, 4, 1, {3, 8, 9, 7}, script, 4);
+  const UcVerdict v = checkUniformConsensus(run);
+  ASSERT_TRUE(v.ok()) << v.witness;
+  EXPECT_EQ(run.decisionRound[2], 1);
+  EXPECT_EQ(*run.decision[1], 3);  // report (p1, v1) wins over p2's value
+  EXPECT_EQ(*run.decision[3], 3);
+}
+
+TEST(A1Rs, SweepAllSingleCrashScripts) {
+  // Exhaustive-ish: every crash process, round in {1, 2}, and send subset for
+  // n = 3 — A1 must satisfy the spec in RS for t = 1.
+  const int n = 3;
+  for (ProcessId victim = 0; victim < n; ++victim) {
+    for (Round r = 1; r <= 2; ++r) {
+      for (std::uint64_t mask = 0; mask < (1u << n); ++mask) {
+        FailureScript script;
+        script.crashes.push_back({victim, r, ProcessSet::fromMask(mask)});
+        const auto run = runAlgo("A1", RoundModel::kRs, n, 1, {4, 6, 5},
+                                 script, /*horizon=*/4);
+        const UcVerdict v = checkUniformConsensus(run);
+        ASSERT_TRUE(v.ok())
+            << v.witness << "\n"
+            << run.toString();
+        ASSERT_LE(run.latency(), 2) << run.toString();
+      }
+    }
+  }
+}
+
+TEST(A1Rws, PendingBroadcastBreaksUniformAgreement) {
+  // Paper Section 5.3: p1 broadcasts v1, decides on its own copy, crashes;
+  // all its messages to others are pending.  Everyone else decides v2.
+  FailureScript script;
+  script.crashes.push_back({0, 2, ProcessSet{}});
+  script.pendings.push_back({0, 1, 1, kNoRound});
+  script.pendings.push_back({0, 2, 1, kNoRound});
+  const auto run =
+      runAlgo("A1", RoundModel::kRws, 3, 1, {3, 8, 9}, script, 4);
+  const UcVerdict v = checkUniformConsensus(run);
+  EXPECT_FALSE(v.uniformAgreement);
+  EXPECT_EQ(*run.decision[0], 3);  // p1 decided v1 before crashing
+  EXPECT_EQ(*run.decision[1], 8);  // survivors decided v2
+  EXPECT_EQ(*run.decision[2], 8);
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(Registry, ContainsThePapersAlgorithms) {
+  const auto& reg = algorithmRegistry();
+  ASSERT_GE(reg.size(), 7u);
+  EXPECT_EQ(reg[0].name, "FloodSet");
+  EXPECT_NO_THROW(algorithmByName("A1"));
+  EXPECT_THROW(algorithmByName("nope"), InvariantViolation);
+}
+
+TEST(Registry, FactoriesProduceFreshAutomata) {
+  const auto& e = algorithmByName("FloodSet");
+  auto a = e.factory(0);
+  auto b = e.factory(1);
+  EXPECT_NE(a.get(), b.get());
+}
+
+}  // namespace
+}  // namespace ssvsp

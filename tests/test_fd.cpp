@@ -1,0 +1,147 @@
+// Tests for the failure-detector framework: each detector class satisfies
+// its defining axioms (checked over sampled horizons) and — just as
+// important — fails the axioms it is NOT supposed to satisfy.
+#include <gtest/gtest.h>
+
+#include "fd/axioms.hpp"
+#include "fd/failure_detectors.hpp"
+
+namespace ssvsp {
+namespace {
+
+FailurePattern patternWithCrashes(int n,
+                                  std::vector<std::pair<ProcessId, Time>> cs) {
+  FailurePattern f(n);
+  for (auto [p, t] : cs) f.setCrash(p, t);
+  return f;
+}
+
+TEST(PerfectFd, SatisfiesBothAxioms) {
+  const auto f = patternWithCrashes(4, {{1, 10}, {3, 25}});
+  PerfectFailureDetector fd(f, /*defaultDelay=*/3);
+  EXPECT_TRUE(checkStrongAccuracy(fd, f, 100).ok);
+  EXPECT_TRUE(checkStrongCompleteness(fd, f, 100).ok);
+}
+
+TEST(PerfectFd, ZeroDelayDetectsInstantly) {
+  const auto f = patternWithCrashes(3, {{2, 5}});
+  PerfectFailureDetector fd(f);
+  EXPECT_FALSE(fd.suspectedAt(0, 4).contains(2));
+  EXPECT_TRUE(fd.suspectedAt(0, 5).contains(2));
+}
+
+TEST(PerfectFd, UnboundedDelayStillAccurate) {
+  const auto f = patternWithCrashes(3, {{2, 5}});
+  PerfectFailureDetector fd(f);
+  fd.setDelay(0, 2, 1000);
+  fd.setDelay(1, 2, 1);
+  EXPECT_FALSE(fd.suspectedAt(0, 500).contains(2));
+  EXPECT_TRUE(fd.suspectedAt(0, 1005).contains(2));
+  EXPECT_TRUE(fd.suspectedAt(1, 6).contains(2));
+  EXPECT_TRUE(checkStrongAccuracy(fd, f, 1200).ok);
+  EXPECT_TRUE(checkStrongCompleteness(fd, f, 1200).ok);
+}
+
+TEST(PerfectFd, RandomizedDelaysKeepAxioms) {
+  const auto f = patternWithCrashes(5, {{0, 3}, {2, 17}, {4, 40}});
+  Rng rng(99);
+  PerfectFailureDetector fd(f);
+  fd.randomizeDelays(rng, 0, 30);
+  EXPECT_TRUE(checkStrongAccuracy(fd, f, 150).ok);
+  EXPECT_TRUE(checkStrongCompleteness(fd, f, 150).ok);
+}
+
+TEST(PerfectFd, NeverSuspectsCorrectProcesses) {
+  const auto f = patternWithCrashes(3, {{1, 8}});
+  PerfectFailureDetector fd(f, 2);
+  for (Time t = 0; t <= 50; ++t) {
+    EXPECT_FALSE(fd.suspectedAt(0, t).contains(2));
+    EXPECT_FALSE(fd.suspectedAt(2, t).contains(0));
+  }
+}
+
+TEST(EventuallyPerfectFd, FalseSuspicionsOnlyBeforeGst) {
+  const auto f = patternWithCrashes(4, {{3, 60}});
+  EventuallyPerfectFailureDetector fd(f, /*gst=*/40, /*rate=*/0.5, /*seed=*/7);
+  // Before gst: false suspicions of alive processes occur (rate 0.5 over
+  // 40 ticks and 3 observers makes a miss astronomically unlikely).
+  bool falseSuspicion = false;
+  for (Time t = 0; t < 40 && !falseSuspicion; ++t)
+    for (ProcessId p = 0; p < 4; ++p)
+      for (ProcessId q : fd.suspectedAt(p, t))
+        if (f.crashTime(q) > t) falseSuspicion = true;
+  EXPECT_TRUE(falseSuspicion);
+  // Eventual strong accuracy and strong completeness hold.
+  EXPECT_TRUE(checkEventualStrongAccuracy(fd, f, 200).ok);
+  EXPECT_TRUE(checkStrongCompleteness(fd, f, 200).ok);
+  // It is NOT a perfect failure detector.
+  EXPECT_FALSE(checkStrongAccuracy(fd, f, 200).ok);
+}
+
+TEST(EventuallyPerfectFd, HistoryIsDeterministic) {
+  const auto f = patternWithCrashes(3, {{1, 20}});
+  EventuallyPerfectFailureDetector a(f, 30, 0.3, 42);
+  EventuallyPerfectFailureDetector b(f, 30, 0.3, 42);
+  for (Time t = 0; t < 60; ++t)
+    for (ProcessId p = 0; p < 3; ++p)
+      EXPECT_EQ(a.suspectedAt(p, t), b.suspectedAt(p, t));
+}
+
+TEST(StrongFd, WeakAccuracyViaImmuneProcess) {
+  const auto f = patternWithCrashes(4, {{3, 15}});
+  StrongFailureDetector fd(f, /*immune=*/0, /*rate=*/0.4, /*seed=*/5);
+  EXPECT_TRUE(checkWeakAccuracy(fd, f, 100).ok);
+  EXPECT_TRUE(checkStrongCompleteness(fd, f, 100).ok);
+  EXPECT_FALSE(checkStrongAccuracy(fd, f, 100).ok);  // others falsely accused
+}
+
+TEST(StrongFd, RejectsFaultyImmuneProcess) {
+  const auto f = patternWithCrashes(3, {{0, 5}});
+  EXPECT_THROW(StrongFailureDetector(f, 0, 0.1, 1), InvariantViolation);
+}
+
+TEST(EventuallyStrongFd, ImmuneOnlyAfterGst) {
+  const auto f = patternWithCrashes(4, {{3, 10}});
+  EventuallyStrongFailureDetector fd(f, /*immune=*/1, /*gst=*/50, 0.5, 11);
+  EXPECT_TRUE(checkEventualWeakAccuracy(fd, f, 300).ok);
+  EXPECT_TRUE(checkStrongCompleteness(fd, f, 300).ok);
+  // Before gst even the immune process may be suspected.
+  bool immuneSuspected = false;
+  for (Time t = 0; t < 50 && !immuneSuspected; ++t)
+    for (ProcessId p = 0; p < 4; ++p)
+      if (fd.suspectedAt(p, t).contains(1)) immuneSuspected = true;
+  EXPECT_TRUE(immuneSuspected);
+}
+
+TEST(Axioms, CompletenessFailsForBlindDetector) {
+  // A detector that never suspects anyone fails strong completeness when a
+  // crash occurs.
+  class Blind : public FailureDetectorSource {
+   public:
+    ProcessSet suspectedAt(ProcessId, Time) override { return {}; }
+  };
+  const auto f = patternWithCrashes(3, {{1, 5}});
+  Blind fd;
+  EXPECT_TRUE(checkStrongAccuracy(fd, f, 50).ok);
+  EXPECT_FALSE(checkStrongCompleteness(fd, f, 50).ok);
+}
+
+TEST(Axioms, AccuracyFailsForParanoidDetector) {
+  class Paranoid : public FailureDetectorSource {
+   public:
+    explicit Paranoid(int n) : n_(n) {}
+    ProcessSet suspectedAt(ProcessId p, Time) override {
+      auto s = ProcessSet::full(n_);
+      s.erase(p);
+      return s;
+    }
+    int n_;
+  };
+  const FailurePattern f(3);
+  Paranoid fd(3);
+  EXPECT_FALSE(checkStrongAccuracy(fd, f, 10).ok);
+  EXPECT_TRUE(checkStrongCompleteness(fd, f, 10).ok);  // nobody crashes
+}
+
+}  // namespace
+}  // namespace ssvsp

@@ -1,0 +1,135 @@
+// Tests for the latency-degree analyzers: they must reproduce the exact
+// equalities of Section 5.2 for the paper's algorithms on small systems.
+#include <gtest/gtest.h>
+
+#include "consensus/registry.hpp"
+#include "latency/latency.hpp"
+
+namespace ssvsp {
+namespace {
+
+RoundConfig cfgOf(int n, int t) {
+  RoundConfig c;
+  c.n = n;
+  c.t = t;
+  return c;
+}
+
+LatencyOptions exhaustive(int t, std::vector<int> lags = {},
+                          std::int64_t cap = -1) {
+  LatencyOptions o;
+  o.enumeration.horizon = t + 2;
+  o.enumeration.maxCrashes = t;
+  o.enumeration.pendingLags = std::move(lags);
+  o.enumeration.maxScripts = cap;
+  return o;
+}
+
+LatencyProfile profileOf(const std::string& name, RoundModel model, int n,
+                         int t, LatencyOptions o) {
+  return measureLatency(algorithmByName(name).factory, cfgOf(n, t), model, o);
+}
+
+TEST(Latency, FloodSetIsAlwaysTPlus1) {
+  const auto p = profileOf("FloodSet", RoundModel::kRs, 3, 1, exhaustive(1));
+  EXPECT_EQ(p.lat, 2);     // even the best run needs t+1 rounds
+  EXPECT_EQ(p.latMax, 2);
+  EXPECT_EQ(p.lambda, 2);
+  EXPECT_EQ(p.latByMaxCrashes.at(1), 2);
+}
+
+TEST(Latency, FloodSetWsIsAlwaysTPlus1) {
+  const auto p =
+      profileOf("FloodSetWS", RoundModel::kRws, 3, 1, exhaustive(1, {1, 0}));
+  EXPECT_EQ(p.lat, 2);
+  EXPECT_EQ(p.lambda, 2);
+}
+
+TEST(Latency, COptAchievesLat1InBothModels) {
+  // Section 5.2: lat(C_OptFloodSet) = lat(C_OptFloodSetWS) = 1 — the
+  // unanimous initial configuration decides in one round.
+  const auto rs =
+      profileOf("C_OptFloodSet", RoundModel::kRs, 4, 2, exhaustive(2));
+  EXPECT_EQ(rs.lat, 1);
+  // ...but Lat is still t+1: mixed configs cannot decide in round 1.
+  EXPECT_EQ(rs.latMax, 3);
+
+  LatencyOptions o = exhaustive(2, {1, 0}, /*cap=*/100000);
+  const auto rws = profileOf("C_OptFloodSetWS", RoundModel::kRws, 4, 2, o);
+  EXPECT_EQ(rws.lat, 1);
+  EXPECT_EQ(rws.latMax, 3);
+}
+
+TEST(Latency, FOptAchievesLatMax1InBothModels) {
+  // Section 5.2: Lat(F_OptFloodSet) = Lat(F_OptFloodSetWS) = 1 — EVERY
+  // initial configuration has a 1-round run (t initial crashes), refuting
+  // the idea that minimal latency comes from failure-free runs.
+  const auto rs =
+      profileOf("F_OptFloodSet", RoundModel::kRs, 4, 2, exhaustive(2));
+  EXPECT_EQ(rs.lat, 1);
+  EXPECT_EQ(rs.latMax, 1);
+  // Failure-free runs still take t+1 = Lambda is 3, even though Lat = 1.
+  EXPECT_EQ(rs.lambda, 3);
+
+  LatencyOptions o = exhaustive(2, {1, 0}, /*cap=*/100000);
+  const auto rws = profileOf("F_OptFloodSetWS", RoundModel::kRws, 4, 2, o);
+  EXPECT_EQ(rws.lat, 1);
+  EXPECT_EQ(rws.latMax, 1);
+}
+
+TEST(Latency, LatIsMonotoneInCrashBudget) {
+  const auto p = profileOf("FloodSet", RoundModel::kRs, 4, 2, exhaustive(2));
+  Round prev = 0;
+  for (const auto& [f, worst] : p.latByMaxCrashes) {
+    ASSERT_NE(worst, kNoRound);
+    EXPECT_GE(worst, prev) << "Lat(A,f) must be monotone in f";
+    prev = worst;
+  }
+}
+
+TEST(Latency, A1LambdaIs1InRs) {
+  // Section 5.3: Lambda(A1) = 1 — every failure-free run decides round 1.
+  LatencyOptions o = exhaustive(1);
+  o.enumeration.horizon = 3;
+  const auto p = profileOf("A1", RoundModel::kRs, 3, 1, o);
+  EXPECT_EQ(p.lambda, 1);
+  EXPECT_EQ(p.lat, 1);
+  EXPECT_EQ(p.latByMaxCrashes.at(1), 2);  // all runs of A1 take <= 2 rounds
+}
+
+TEST(Latency, RwsAlgorithmsHaveLambdaAtLeast2) {
+  // The Section 5.3 separation, measured: no registered RWS algorithm gets
+  // Lambda below 2 (companion paper [7] proves none can).
+  for (const char* name :
+       {"FloodSetWS", "C_OptFloodSetWS", "F_OptFloodSetWS"}) {
+    LatencyOptions o = exhaustive(1, {1, 0});
+    o.enumeration.horizon = 3;
+    const auto p = profileOf(name, RoundModel::kRws, 3, 1, o);
+    EXPECT_GE(p.lambda, 2) << name;
+  }
+}
+
+TEST(Latency, SampledModeAgreesWithExhaustiveOnDesignedCorners) {
+  // Sampling always injects the designed corner runs (failure-free, k
+  // initial crashes), so lat/Lat of the Opt algorithms match exhaustive
+  // values even with few samples.
+  LatencyOptions o = exhaustive(2);
+  o.exhaustive = false;
+  o.samples = 50;
+  o.seed = 7;
+  const auto p = profileOf("F_OptFloodSet", RoundModel::kRs, 4, 2, o);
+  EXPECT_EQ(p.lat, 1);
+  EXPECT_EQ(p.latMax, 1);
+  EXPECT_EQ(p.lambda, 3);
+}
+
+TEST(Latency, ProfileToStringMentionsAllMeasures) {
+  const auto p = profileOf("FloodSet", RoundModel::kRs, 3, 1, exhaustive(1));
+  const std::string s = p.toString();
+  EXPECT_NE(s.find("lat="), std::string::npos);
+  EXPECT_NE(s.find("Lat="), std::string::npos);
+  EXPECT_NE(s.find("Lambda="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssvsp

@@ -1,0 +1,130 @@
+// Tests for the consensus / uniform-consensus separation (Section 5.1):
+// NonUniformEarlyFloodSet solves NON-uniform consensus in RS (exhaustively
+// checked) yet violates uniform agreement — in RS, consensus is strictly
+// easier than uniform consensus, as the paper states (citing [8] for the
+// models where they coincide).
+#include <gtest/gtest.h>
+
+#include "consensus/nonuniform.hpp"
+#include "consensus/registry.hpp"
+#include "mc/checker.hpp"
+#include "rounds/adversary.hpp"
+
+namespace ssvsp {
+namespace {
+
+RoundConfig cfgOf(int n, int t) {
+  RoundConfig c;
+  c.n = n;
+  c.t = t;
+  return c;
+}
+
+RoundRunResult runIt(int n, int t, std::vector<Value> initial,
+                     const FailureScript& script) {
+  RoundEngineOptions opt;
+  opt.horizon = t + 2;
+  return runRounds(cfgOf(n, t), RoundModel::kRs,
+                   makeNonUniformEarlyFloodSet(), std::move(initial), script,
+                   opt);
+}
+
+TEST(NonUniform, FailureFreeDecidesAtRound1) {
+  const auto run = runIt(4, 2, {7, 3, 9, 5}, noFailures());
+  const auto v = checkConsensus(run);
+  EXPECT_TRUE(v.ok()) << v.witness;
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_EQ(*run.decision[static_cast<std::size_t>(p)], 3);
+    EXPECT_EQ(run.decisionRound[static_cast<std::size_t>(p)], 1);
+  }
+}
+
+TEST(NonUniform, DecidesAtRoundFPlus1) {
+  // One silent initial crash: survivors see f = 1 at round 1 and decide at
+  // round 2 = f + 1.
+  const auto run = runIt(4, 2, {7, 3, 9, 5}, initialCrashes(4, 1));
+  const auto v = checkConsensus(run);
+  EXPECT_TRUE(v.ok()) << v.witness;
+  EXPECT_EQ(run.latency(), 2);
+}
+
+TEST(NonUniform, ViolatesUniformAgreement) {
+  // The classic scenario: p1 hears everyone (including the dying minimum
+  // holder) at round 1, decides the minimum, and crashes silently; the
+  // minimum never reaches the others.
+  FailureScript script;
+  script.crashes.push_back({0, 1, ProcessSet{1}});  // 0's value only to p1
+  script.crashes.push_back({1, 2, ProcessSet{}});   // p1 decides, dies mute
+  const auto run = runIt(3, 2, {0, 5, 5}, script);
+  // Non-uniform agreement holds (the only deciders that stay alive agree)…
+  EXPECT_TRUE(checkConsensus(run).ok());
+  // …but the dead p1 decided 0 while the survivor decided 5.
+  const auto uv = checkUniformConsensus(run);
+  EXPECT_FALSE(uv.uniformAgreement);
+  EXPECT_EQ(*run.decision[1], 0);
+  EXPECT_EQ(*run.decision[2], 5);
+}
+
+TEST(NonUniform, ExhaustivelySolvesConsensusN3T2) {
+  // Over the full RS adversary space, the NON-uniform spec always holds…
+  EnumOptions e;
+  e.horizon = 4;
+  e.maxCrashes = 2;
+  RoundEngineOptions opt;
+  opt.horizon = 5;
+  bool uniformViolated = false;
+  std::int64_t runs = 0;
+  forEachScript(cfgOf(3, 2), RoundModel::kRs, e,
+                [&](const FailureScript& script) {
+                  for (const auto& init : allInitialConfigs(3, 2)) {
+                    const auto run =
+                        runRounds(cfgOf(3, 2), RoundModel::kRs,
+                                  makeNonUniformEarlyFloodSet(), init, script,
+                                  opt);
+                    ++runs;
+                    const auto v = checkConsensus(run);
+                    EXPECT_TRUE(v.ok())
+                        << v.witness << "\n" << run.toString();
+                    if (!checkUniformConsensus(run).uniformAgreement)
+                      uniformViolated = true;
+                  }
+                  return !::testing::Test::HasFailure();
+                });
+  EXPECT_GT(runs, 10000);
+  // …while the UNIFORM spec is provably violated somewhere in that space.
+  EXPECT_TRUE(uniformViolated);
+}
+
+TEST(NonUniform, UniformCounterpartIsOneRoundSlower) {
+  // The price of uniformity, measured: EarlyFloodSet (uniform-safe) decides
+  // failure-free runs at round 2; the non-uniform rule decides at round 1.
+  const auto uniform = runRounds(cfgOf(4, 2), RoundModel::kRs,
+                                 algorithmByName("EarlyFloodSet").factory,
+                                 {4, 2, 8, 6}, {}, {.horizon = 4});
+  const auto nonuniform = runIt(4, 2, {4, 2, 8, 6}, noFailures());
+  EXPECT_EQ(uniform.latency(), 2);
+  EXPECT_EQ(nonuniform.latency(), 1);
+}
+
+TEST(NonUniform, CheckerDetectsCorrectDisagreement) {
+  RoundRunResult run;
+  run.cfg = cfgOf(2, 1);
+  run.initial = {3, 4};
+  run.decision = {3, 4};
+  run.decisionRound = {1, 1};
+  run.correct = ProcessSet::full(2);
+  EXPECT_FALSE(checkConsensus(run).agreementAmongCorrect);
+
+  // Same decisions but p1 is faulty: non-uniform agreement is satisfied.
+  run.correct = ProcessSet{0};
+  run.faulty = ProcessSet{1};
+  EXPECT_TRUE(checkConsensus(run).agreementAmongCorrect);
+}
+
+TEST(NonUniform, RegistryEntryExists) {
+  const auto& e = algorithmByName("NonUniformEarlyFloodSet");
+  EXPECT_EQ(e.intendedModel, RoundModel::kRs);
+}
+
+}  // namespace
+}  // namespace ssvsp

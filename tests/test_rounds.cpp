@@ -1,0 +1,350 @@
+// Unit tests for the round engines: script validation, RS delivery
+// semantics, RWS pending-message semantics, FIFO deferral, and the spec
+// checker.
+#include <gtest/gtest.h>
+
+#include "rounds/adversary.hpp"
+#include "rounds/engine.hpp"
+#include "rounds/spec.hpp"
+#include "util/check.hpp"
+
+namespace ssvsp {
+namespace {
+
+// Test automaton: broadcasts its initial value every round and records, per
+// round, the exact set of senders heard from; never decides.
+class Echo : public RoundAutomaton {
+ public:
+  void begin(ProcessId self, const RoundConfig& cfg, Value initial) override {
+    self_ = self;
+    cfg_ = cfg;
+    v_ = initial;
+  }
+  std::optional<Payload> messageFor(ProcessId) const override {
+    PayloadWriter w;
+    w.putValue(v_);
+    return std::move(w).take();
+  }
+  void transition(
+      const std::vector<std::optional<Payload>>& received) override {
+    ProcessSet heard;
+    std::vector<Value> values;
+    for (ProcessId j = 0; j < cfg_.n; ++j) {
+      if (received[static_cast<std::size_t>(j)].has_value()) {
+        heard.insert(j);
+        PayloadReader r(*received[static_cast<std::size_t>(j)]);
+        values.push_back(r.getValue());
+      } else {
+        values.push_back(kUndecided);
+      }
+    }
+    heardPerRound.push_back(heard);
+    valuesPerRound.push_back(values);
+  }
+  std::optional<Value> decision() const override { return std::nullopt; }
+
+  ProcessId self_ = kNoProcess;
+  RoundConfig cfg_;
+  Value v_ = 0;
+  std::vector<ProcessSet> heardPerRound;
+  std::vector<std::vector<Value>> valuesPerRound;
+};
+
+// Keeps pointers to the created automata so the test can inspect them.
+struct EchoFleet {
+  std::vector<Echo*> procs;
+  RoundAutomatonFactory factory() {
+    return [this](ProcessId) {
+      auto a = std::make_unique<Echo>();
+      procs.push_back(a.get());
+      return a;
+    };
+  }
+};
+
+RoundConfig cfgOf(int n, int t) {
+  RoundConfig c;
+  c.n = n;
+  c.t = t;
+  return c;
+}
+
+TEST(ScriptValidation, RejectsTooManyCrashes) {
+  FailureScript s;
+  for (ProcessId p = 0; p < 2; ++p) s.crashes.push_back({p, 1, {}});
+  EXPECT_FALSE(validateScript(s, cfgOf(3, 1), RoundModel::kRs).ok);
+  EXPECT_TRUE(validateScript(s, cfgOf(3, 2), RoundModel::kRs).ok);
+}
+
+TEST(ScriptValidation, RejectsDoubleCrash) {
+  FailureScript s;
+  s.crashes.push_back({0, 1, {}});
+  s.crashes.push_back({0, 2, {}});
+  EXPECT_FALSE(validateScript(s, cfgOf(3, 2), RoundModel::kRs).ok);
+}
+
+TEST(ScriptValidation, RejectsPendingInRs) {
+  FailureScript s;
+  s.crashes.push_back({0, 1, ProcessSet{1}});
+  s.pendings.push_back({0, 1, 1, 2});
+  EXPECT_FALSE(validateScript(s, cfgOf(3, 1), RoundModel::kRs).ok);
+  EXPECT_TRUE(validateScript(s, cfgOf(3, 1), RoundModel::kRws).ok);
+}
+
+TEST(ScriptValidation, RejectsPendingOfUnsentMessage) {
+  FailureScript s;
+  s.crashes.push_back({0, 1, ProcessSet{1}});
+  s.pendings.push_back({0, 2, 1, 2});  // p0 never sent to p2 in round 1
+  EXPECT_FALSE(validateScript(s, cfgOf(3, 1), RoundModel::kRws).ok);
+}
+
+TEST(ScriptValidation, EnforcesWeakRoundSynchrony) {
+  // p0 is correct but its round-1 message to p1 is pending, with p1
+  // surviving round 1: forbidden.
+  FailureScript s;
+  s.pendings.push_back({0, 1, 1, 2});
+  EXPECT_FALSE(validateScript(s, cfgOf(3, 1), RoundModel::kRws).ok);
+
+  // Same pending but p0 crashes in round 2: allowed.
+  s.crashes.push_back({0, 2, {}});
+  EXPECT_TRUE(validateScript(s, cfgOf(3, 1), RoundModel::kRws).ok);
+}
+
+TEST(ScriptValidation, PendingToDyingReceiverNeedsNoSenderCrash) {
+  // The receiver p1 crashes in round 1, so weak round synchrony says
+  // nothing about p0's round-1 message to it.
+  FailureScript s;
+  s.crashes.push_back({1, 1, {}});
+  s.pendings.push_back({0, 1, 1, kNoRound});
+  EXPECT_TRUE(validateScript(s, cfgOf(3, 1), RoundModel::kRws).ok);
+}
+
+TEST(ScriptValidation, RejectsArrivalNotAfterSend) {
+  FailureScript s;
+  s.crashes.push_back({0, 1, ProcessSet{1}});
+  s.pendings.push_back({0, 1, 1, 1});
+  EXPECT_FALSE(validateScript(s, cfgOf(3, 1), RoundModel::kRws).ok);
+}
+
+TEST(RsEngine, FailureFreeDeliversEverythingEveryRound) {
+  EchoFleet fleet;
+  RoundEngineOptions opt;
+  opt.horizon = 3;
+  opt.stopWhenAllDecided = false;
+  const auto run = runRounds(cfgOf(4, 1), RoundModel::kRs, fleet.factory(),
+                             {10, 11, 12, 13}, noFailures(), opt);
+  EXPECT_EQ(run.roundsExecuted, 3);
+  for (Echo* e : fleet.procs) {
+    ASSERT_EQ(e->heardPerRound.size(), 3u);
+    for (const auto& heard : e->heardPerRound)
+      EXPECT_EQ(heard, ProcessSet::full(4));
+  }
+  // Values are delivered as sent.
+  EXPECT_EQ(fleet.procs[0]->valuesPerRound[0],
+            (std::vector<Value>{10, 11, 12, 13}));
+}
+
+TEST(RsEngine, CrashPartialBroadcastReachesSubsetOnly) {
+  EchoFleet fleet;
+  FailureScript script;
+  script.crashes.push_back({0, 1, ProcessSet{2}});  // p0 reaches only p2
+  RoundEngineOptions opt;
+  opt.horizon = 2;
+  opt.stopWhenAllDecided = false;
+  const auto run = runRounds(cfgOf(3, 1), RoundModel::kRs, fleet.factory(),
+                             {5, 6, 7}, script, opt);
+  // p1 never hears p0; p2 hears p0 in round 1 only.
+  EXPECT_EQ(fleet.procs[1]->heardPerRound[0], (ProcessSet{1, 2}));
+  EXPECT_EQ(fleet.procs[2]->heardPerRound[0], (ProcessSet{0, 1, 2}));
+  EXPECT_EQ(fleet.procs[2]->heardPerRound[1], (ProcessSet{1, 2}));
+  // The crashed process performed no transition.
+  EXPECT_TRUE(fleet.procs[0]->heardPerRound.empty());
+}
+
+TEST(RsEngine, CrashedProcessSendsNothingLater) {
+  EchoFleet fleet;
+  FailureScript script;
+  script.crashes.push_back({1, 2, ProcessSet{}});  // silent from round 2 on
+  RoundEngineOptions opt;
+  opt.horizon = 3;
+  opt.stopWhenAllDecided = false;
+  const auto run = runRounds(cfgOf(3, 1), RoundModel::kRs, fleet.factory(),
+                             {1, 2, 3}, script, opt);
+  EXPECT_EQ(fleet.procs[0]->heardPerRound[0], ProcessSet::full(3));
+  EXPECT_EQ(fleet.procs[0]->heardPerRound[1], (ProcessSet{0, 2}));
+  EXPECT_EQ(fleet.procs[0]->heardPerRound[2], (ProcessSet{0, 2}));
+}
+
+TEST(RwsEngine, PendingMessageArrivesLate) {
+  EchoFleet fleet;
+  FailureScript script;
+  // p0 crashes in round 2; its round-1 message to p1 is pending, surfacing
+  // in round 2.
+  script.crashes.push_back({0, 2, ProcessSet{}});
+  script.pendings.push_back({0, 1, 1, 2});
+  RoundEngineOptions opt;
+  opt.horizon = 3;
+  opt.stopWhenAllDecided = false;
+  const auto run = runRounds(cfgOf(3, 1), RoundModel::kRws, fleet.factory(),
+                             {5, 6, 7}, script, opt);
+  Echo* p1 = fleet.procs[1];
+  // Round 1: silence from p0.  Round 2: the late round-1 value shows up.
+  EXPECT_EQ(p1->heardPerRound[0], (ProcessSet{1, 2}));
+  EXPECT_EQ(p1->heardPerRound[1], (ProcessSet{0, 1, 2}));
+  EXPECT_EQ(p1->valuesPerRound[1][0], 5);
+  // Round 3: p0 is gone for real.
+  EXPECT_EQ(p1->heardPerRound[2], (ProcessSet{1, 2}));
+}
+
+TEST(RwsEngine, LostPendingNeverSurfaces) {
+  EchoFleet fleet;
+  FailureScript script;
+  script.crashes.push_back({0, 2, ProcessSet{}});
+  script.pendings.push_back({0, 1, 1, kNoRound});
+  RoundEngineOptions opt;
+  opt.horizon = 4;
+  opt.stopWhenAllDecided = false;
+  const auto run = runRounds(cfgOf(3, 1), RoundModel::kRws, fleet.factory(),
+                             {5, 6, 7}, script, opt);
+  for (const auto& heard : fleet.procs[1]->heardPerRound)
+    EXPECT_FALSE(heard.contains(0));
+}
+
+TEST(RwsEngine, FifoDefersFresherMessage) {
+  EchoFleet fleet;
+  FailureScript script;
+  // p0 crashes in round 2 but still broadcasts in round 2 to p1.  Its
+  // round-1 message to p1 is pending until round 2, so round 2 has two
+  // deliverable messages from p0; FIFO delivers the round-1 one first and
+  // defers the round-2 one to round 3.
+  script.crashes.push_back({0, 2, ProcessSet{1}});
+  script.pendings.push_back({0, 1, 1, 2});
+  RoundEngineOptions opt;
+  opt.horizon = 4;
+  opt.stopWhenAllDecided = false;
+  const auto run = runRounds(cfgOf(3, 1), RoundModel::kRws, fleet.factory(),
+                             {5, 6, 7}, script, opt);
+  Echo* p1 = fleet.procs[1];
+  EXPECT_FALSE(p1->heardPerRound[0].contains(0));
+  EXPECT_TRUE(p1->heardPerRound[1].contains(0));   // round-1 message
+  EXPECT_TRUE(p1->heardPerRound[2].contains(0));   // deferred round-2 message
+  EXPECT_FALSE(p1->heardPerRound[3].contains(0));
+}
+
+TEST(RwsEngine, IllegalScriptThrows) {
+  EchoFleet fleet;
+  FailureScript script;
+  script.pendings.push_back({0, 1, 1, 2});  // sender never crashes
+  RoundEngineOptions opt;
+  EXPECT_THROW(runRounds(cfgOf(3, 1), RoundModel::kRws, fleet.factory(),
+                         {1, 2, 3}, script, opt),
+               InvariantViolation);
+}
+
+// A misbehaving automaton that flips its decision — the engine must refuse.
+class Flipper : public RoundAutomaton {
+ public:
+  void begin(ProcessId, const RoundConfig&, Value) override {}
+  std::optional<Payload> messageFor(ProcessId) const override {
+    return std::nullopt;
+  }
+  void transition(const std::vector<std::optional<Payload>>&) override {
+    ++round_;
+  }
+  std::optional<Value> decision() const override { return round_; }
+
+ private:
+  int round_ = 0;
+};
+
+TEST(Engine, DecisionIntegrityEnforced) {
+  RoundEngineOptions opt;
+  opt.horizon = 3;
+  opt.stopWhenAllDecided = false;
+  EXPECT_THROW(
+      runRounds(cfgOf(2, 0), RoundModel::kRs,
+                [](ProcessId) { return std::make_unique<Flipper>(); }, {1, 2},
+                noFailures(), opt),
+      InvariantViolation);
+}
+
+TEST(Sampler, ProducesOnlyLegalScripts) {
+  Rng rng(2024);
+  for (RoundModel model : {RoundModel::kRs, RoundModel::kRws}) {
+    ScriptSampler sampler(cfgOf(5, 2), model, /*horizon=*/4);
+    for (int i = 0; i < 500; ++i) {
+      const FailureScript s = sampler.sample(rng);
+      EXPECT_TRUE(validateScript(s, cfgOf(5, 2), model).ok);
+      EXPECT_LE(s.numCrashes(), 2);
+    }
+  }
+}
+
+TEST(Sampler, ForcedCrashCount) {
+  Rng rng(7);
+  SamplerOptions o;
+  o.forcedCrashes = 2;
+  ScriptSampler sampler(cfgOf(4, 2), RoundModel::kRs, 3, o);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(sampler.sample(rng).numCrashes(), 2);
+}
+
+TEST(Sampler, InitialCrashesHelper) {
+  const FailureScript s = initialCrashes(5, 2);
+  EXPECT_EQ(s.numCrashes(), 2);
+  EXPECT_EQ(s.crashRound(4), 1);
+  EXPECT_EQ(s.crashRound(3), 1);
+  EXPECT_EQ(s.crashRound(0), kNoRound);
+  EXPECT_TRUE(s.sendSubset(4, 5).empty());
+}
+
+TEST(Spec, DetectsDisagreement) {
+  RoundRunResult run;
+  run.cfg = cfgOf(2, 1);
+  run.initial = {3, 4};
+  run.decision = {3, 4};
+  run.decisionRound = {1, 1};
+  run.correct = ProcessSet::full(2);
+  const UcVerdict v = checkUniformConsensus(run);
+  EXPECT_FALSE(v.uniformAgreement);
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(Spec, DetectsValidityViolation) {
+  RoundRunResult run;
+  run.cfg = cfgOf(2, 1);
+  run.initial = {3, 3};
+  run.decision = {4, 4};
+  run.decisionRound = {1, 1};
+  run.correct = ProcessSet::full(2);
+  const UcVerdict v = checkUniformConsensus(run);
+  EXPECT_FALSE(v.uniformValidity);
+  EXPECT_FALSE(v.decisionInProposals);
+}
+
+TEST(Spec, DetectsNonTermination) {
+  RoundRunResult run;
+  run.cfg = cfgOf(2, 1);
+  run.initial = {3, 3};
+  run.decision = {3, std::nullopt};
+  run.decisionRound = {1, kNoRound};
+  run.correct = ProcessSet::full(2);
+  EXPECT_FALSE(checkUniformConsensus(run).termination);
+  EXPECT_EQ(run.latency(), kNoRound);
+}
+
+TEST(Spec, CleanRunPasses) {
+  RoundRunResult run;
+  run.cfg = cfgOf(3, 1);
+  run.initial = {5, 6, 7};
+  run.decision = {5, 5, std::nullopt};
+  run.decisionRound = {1, 2, kNoRound};
+  run.correct = ProcessSet{0, 1};
+  run.faulty = ProcessSet{2};
+  const UcVerdict v = checkUniformConsensus(run);
+  EXPECT_TRUE(v.ok()) << v.witness;
+  EXPECT_EQ(run.latency(), 2);
+}
+
+}  // namespace
+}  // namespace ssvsp

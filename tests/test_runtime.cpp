@@ -1,0 +1,264 @@
+// Unit tests for the step-level simulator: failure patterns, executor
+// mechanics, schedulers, delivery policies, and trace queries.
+#include <gtest/gtest.h>
+
+#include "runtime/executor.hpp"
+#include "util/check.hpp"
+
+namespace ssvsp {
+namespace {
+
+// A trivial automaton: p0 sends its value to everyone (one peer per step,
+// round-robin); every process decides the first value it receives; p0
+// decides its own value immediately.
+class Broadcaster : public Automaton {
+ public:
+  explicit Broadcaster(Value v) : v_(v) {}
+
+  void start(ProcessId self, int n) override {
+    self_ = self;
+    n_ = n;
+    if (self_ == 0) decision_ = v_;
+  }
+
+  void onStep(StepContext& ctx) override {
+    for (const auto& e : ctx.received()) {
+      PayloadReader r(e.payload);
+      const Value got = r.getValue();
+      if (!decision_.has_value()) decision_ = got;
+    }
+    if (self_ == 0 && nextDst_ < n_) {
+      if (nextDst_ == 0) ++nextDst_;  // skip self
+      if (nextDst_ < n_) {
+        PayloadWriter w;
+        w.putValue(v_);
+        ctx.send(nextDst_, std::move(w).take());
+        ++nextDst_;
+      }
+    }
+  }
+
+  std::optional<Value> output() const override { return decision_; }
+
+ private:
+  Value v_;
+  ProcessId self_ = kNoProcess;
+  int n_ = 0;
+  int nextDst_ = 0;
+  std::optional<Value> decision_;
+};
+
+AutomatonFactory broadcasterFactory(Value v) {
+  return [v](ProcessId) { return std::make_unique<Broadcaster>(v); };
+}
+
+TEST(FailurePattern, DefaultsToNoFailures) {
+  FailurePattern f(4);
+  EXPECT_TRUE(f.faulty().empty());
+  EXPECT_EQ(f.correct(), ProcessSet::full(4));
+  EXPECT_TRUE(f.alive(2, 1000000));
+}
+
+TEST(FailurePattern, CrashSemantics) {
+  FailurePattern f(3);
+  f.setCrash(1, 10);
+  EXPECT_TRUE(f.alive(1, 9));
+  EXPECT_FALSE(f.alive(1, 10));
+  EXPECT_EQ(f.crashedBy(9), ProcessSet{});
+  EXPECT_EQ(f.crashedBy(10), ProcessSet{1});
+  EXPECT_EQ(f.faulty(), ProcessSet{1});
+  EXPECT_EQ(f.correct(), (ProcessSet{0, 2}));
+}
+
+TEST(FailurePattern, NoRecovery) {
+  FailurePattern f(2);
+  f.setCrash(0, 5);
+  EXPECT_NO_THROW(f.setCrash(0, 5));
+  EXPECT_NO_THROW(f.setCrash(0, 3));   // earlier is fine
+  EXPECT_THROW(f.setCrash(0, 7), InvariantViolation);  // later is recovery
+}
+
+TEST(FailurePattern, InitiallyDead) {
+  FailurePattern f(2);
+  f.setCrash(0, 1);
+  EXPECT_TRUE(f.initiallyDead(0));
+  f.setCrash(1, 0);
+  EXPECT_TRUE(f.initiallyDead(1));
+  FailurePattern g(2);
+  g.setCrash(0, 2);
+  EXPECT_FALSE(g.initiallyDead(0));
+}
+
+TEST(Executor, BroadcastReachesEveryoneUnderRoundRobin) {
+  const int n = 5;
+  ExecutorConfig cfg;
+  cfg.n = n;
+  RoundRobinScheduler sched(n);
+  ImmediateDelivery delivery;
+  Executor ex(cfg, broadcasterFactory(77), FailurePattern(n), sched, delivery);
+  const RunTrace trace =
+      ex.run([](const Executor& e) { return e.allCorrectDecided(); });
+  for (ProcessId p = 0; p < n; ++p) {
+    ASSERT_TRUE(ex.output(p).has_value()) << "p" << p;
+    EXPECT_EQ(*ex.output(p), 77);
+  }
+  EXPECT_TRUE(trace.undeliveredSeqs().empty());
+}
+
+TEST(Executor, CrashedProcessTakesNoStep) {
+  const int n = 3;
+  ExecutorConfig cfg;
+  cfg.n = n;
+  cfg.maxSteps = 300;
+  FailurePattern pattern(n);
+  pattern.setCrash(0, 1);  // initially dead
+  RoundRobinScheduler sched(n);
+  ImmediateDelivery delivery;
+  Executor ex(cfg, broadcasterFactory(5), pattern, sched, delivery);
+  const RunTrace trace = ex.run();
+  EXPECT_EQ(trace.stepCount(0), 0);
+  EXPECT_FALSE(ex.output(1).has_value());  // nobody ever hears the value
+}
+
+TEST(Executor, CrashMidBroadcastDeliversPrefix) {
+  const int n = 4;
+  ExecutorConfig cfg;
+  cfg.n = n;
+  cfg.maxSteps = 400;
+  FailurePattern pattern(n);
+  // p0 steps at times 1, 5, 9 under round-robin (n = 4); crashing at time 6
+  // lets it send to p1 and p2 only.
+  pattern.setCrash(0, 6);
+  RoundRobinScheduler sched(n);
+  ImmediateDelivery delivery;
+  Executor ex(cfg, broadcasterFactory(9), pattern, sched, delivery);
+  ex.run();
+  EXPECT_TRUE(ex.output(1).has_value());
+  EXPECT_TRUE(ex.output(2).has_value());
+  EXPECT_FALSE(ex.output(3).has_value());
+}
+
+TEST(Executor, StopsAtMaxSteps) {
+  ExecutorConfig cfg;
+  cfg.n = 2;
+  cfg.maxSteps = 17;
+  RoundRobinScheduler sched(2);
+  ImmediateDelivery delivery;
+  Executor ex(cfg, broadcasterFactory(1), FailurePattern(2), sched, delivery);
+  const RunTrace trace = ex.run();
+  EXPECT_EQ(trace.numSteps(), 17);
+}
+
+TEST(Executor, ScriptedSchedulerFollowsScript) {
+  ExecutorConfig cfg;
+  cfg.n = 3;
+  ScriptedScheduler sched(3, {2, 2, 0, 1}, /*fallback=*/false);
+  ImmediateDelivery delivery;
+  Executor ex(cfg, broadcasterFactory(1), FailurePattern(3), sched, delivery);
+  const RunTrace trace = ex.run();
+  ASSERT_EQ(trace.numSteps(), 4);
+  EXPECT_EQ(trace.steps()[0].pid, 2);
+  EXPECT_EQ(trace.steps()[1].pid, 2);
+  EXPECT_EQ(trace.steps()[2].pid, 0);
+  EXPECT_EQ(trace.steps()[3].pid, 1);
+}
+
+TEST(Executor, RandomSchedulerIsFairEnough) {
+  ExecutorConfig cfg;
+  cfg.n = 4;
+  cfg.maxSteps = 4000;
+  RandomScheduler sched(4, Rng(123));
+  ImmediateDelivery delivery;
+  Executor ex(cfg, broadcasterFactory(1), FailurePattern(4), sched, delivery);
+  const RunTrace trace = ex.run();
+  for (ProcessId p = 0; p < 4; ++p) EXPECT_GT(trace.stepCount(p), 700);
+}
+
+TEST(Executor, RandomSchedulerRespectsZeroWeight) {
+  ExecutorConfig cfg;
+  cfg.n = 3;
+  cfg.maxSteps = 500;
+  RandomScheduler sched(3, Rng(5));
+  sched.setWeight(1, 0.0);
+  ImmediateDelivery delivery;
+  Executor ex(cfg, broadcasterFactory(1), FailurePattern(3), sched, delivery);
+  const RunTrace trace = ex.run();
+  EXPECT_EQ(trace.stepCount(1), 0);
+}
+
+TEST(Delivery, ScriptedHoldBlocksChannelUntilRelease) {
+  ExecutorConfig cfg;
+  cfg.n = 2;
+  cfg.maxSteps = 40;
+  RoundRobinScheduler sched(2);
+  ScriptedHoldDelivery delivery;
+  delivery.holdChannel(0, 1);
+  Executor ex(cfg, broadcasterFactory(4), FailurePattern(2), sched, delivery);
+  ex.run();
+  EXPECT_FALSE(ex.output(1).has_value());
+
+  // Same run but with the channel released: the value arrives.
+  RoundRobinScheduler sched2(2);
+  ScriptedHoldDelivery delivery2;
+  Executor ex2(cfg, broadcasterFactory(4), FailurePattern(2), sched2,
+               delivery2);
+  ex2.run();
+  EXPECT_TRUE(ex2.output(1).has_value());
+}
+
+TEST(Delivery, RandomBoundedDeliveryEventuallyDelivers) {
+  ExecutorConfig cfg;
+  cfg.n = 3;
+  cfg.maxSteps = 3000;
+  RoundRobinScheduler sched(3);
+  RandomBoundedDelivery delivery(Rng(9), /*maxDelay=*/7);
+  Executor ex(cfg, broadcasterFactory(3), FailurePattern(3), sched, delivery);
+  const RunTrace trace =
+      ex.run([](const Executor& e) { return e.allCorrectDecided(); });
+  EXPECT_TRUE(ex.allCorrectDecided());
+  EXPECT_TRUE(trace.undeliveredSeqs().empty());
+}
+
+TEST(Trace, LocalViewAndIndistinguishability) {
+  ExecutorConfig cfg;
+  cfg.n = 3;
+  cfg.maxSteps = 60;
+  RoundRobinScheduler s1(3), s2(3);
+  ImmediateDelivery d1, d2;
+  Executor e1(cfg, broadcasterFactory(8), FailurePattern(3), s1, d1);
+  Executor e2(cfg, broadcasterFactory(8), FailurePattern(3), s2, d2);
+  const RunTrace t1 = e1.run();
+  const RunTrace t2 = e2.run();
+  for (ProcessId p = 0; p < 3; ++p)
+    EXPECT_TRUE(indistinguishableTo(p, t1, t2));
+
+  // A run with a different broadcast value is distinguishable to receivers.
+  RoundRobinScheduler s3(3);
+  ImmediateDelivery d3;
+  Executor e3(cfg, broadcasterFactory(9), FailurePattern(3), s3, d3);
+  const RunTrace t3 = e3.run();
+  EXPECT_FALSE(indistinguishableTo(1, t1, t3));
+}
+
+TEST(Trace, DecisionStepIsRecorded) {
+  ExecutorConfig cfg;
+  cfg.n = 2;
+  cfg.maxSteps = 30;
+  RoundRobinScheduler sched(2);
+  ImmediateDelivery delivery;
+  Executor ex(cfg, broadcasterFactory(6), FailurePattern(2), sched, delivery);
+  const RunTrace trace = ex.run();
+  ASSERT_TRUE(trace.decisionStep(1).has_value());
+  EXPECT_EQ(*trace.decision(1), 6);
+  EXPECT_EQ(*trace.decision(0), 6);
+}
+
+TEST(StepContext, DoubleSendThrows) {
+  std::vector<Envelope> none;
+  StepContext ctx(0, 1, none, ProcessSet());
+  ctx.send(1, {1});
+  EXPECT_THROW(ctx.send(1, {2}), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace ssvsp

@@ -1,0 +1,142 @@
+// Tests for the scenario text format: parsing, validation, serialization
+// round-trips, and end-to-end execution of saved counterexamples.
+#include <gtest/gtest.h>
+
+#include "rounds/spec.hpp"
+#include "scenario/scenario.hpp"
+
+namespace ssvsp {
+namespace {
+
+const char* kFloodSetBreaker = R"(
+# FloodSet loses uniform agreement in RWS (paper Sec. 5.1)
+model     rws
+algorithm FloodSet
+n 3
+t 2
+values 0 1 1
+horizon 5
+crash 0 round 2 sendto none
+crash 1 round 4 sendto all
+pending 0 -> 1 round 1 arrival 2
+pending 0 -> 2 round 1 never
+pending 1 -> 2 round 3 never
+)";
+
+TEST(ScenarioParse, ParsesTheFloodSetBreaker) {
+  const auto r = parseScenario(kFloodSetBreaker);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.scenario.model, RoundModel::kRws);
+  EXPECT_EQ(r.scenario.algorithm, "FloodSet");
+  EXPECT_EQ(r.scenario.cfg.n, 3);
+  EXPECT_EQ(r.scenario.cfg.t, 2);
+  EXPECT_EQ(r.scenario.values, (std::vector<Value>{0, 1, 1}));
+  EXPECT_EQ(r.scenario.horizon, 5);
+  EXPECT_EQ(r.scenario.script.crashes.size(), 2u);
+  EXPECT_EQ(r.scenario.script.pendings.size(), 3u);
+  EXPECT_EQ(r.scenario.script.crashRound(0), 2);
+  EXPECT_EQ(r.scenario.script.sendSubset(1, 3), ProcessSet::full(3));
+}
+
+TEST(ScenarioRun, ReplaysTheDisagreement) {
+  const auto r = parseScenario(kFloodSetBreaker);
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto run = runScenario(r.scenario, /*traceDeliveries=*/false);
+  const auto v = checkUniformConsensus(run);
+  EXPECT_FALSE(v.uniformAgreement) << "the saved counterexample must replay";
+  EXPECT_EQ(*run.decision[1], 0);
+  EXPECT_EQ(*run.decision[2], 1);
+}
+
+TEST(ScenarioRun, FloodSetWsSurvivesTheSameScenario) {
+  auto r = parseScenario(kFloodSetBreaker);
+  ASSERT_TRUE(r.ok);
+  r.scenario.algorithm = "FloodSetWS";
+  const auto run = runScenario(r.scenario, false);
+  EXPECT_TRUE(checkUniformConsensus(run).ok());
+}
+
+TEST(ScenarioParse, SerializationRoundTrips) {
+  const auto r = parseScenario(kFloodSetBreaker);
+  ASSERT_TRUE(r.ok);
+  const std::string text = serializeScenario(r.scenario);
+  const auto r2 = parseScenario(text);
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_EQ(serializeScenario(r2.scenario), text);
+  EXPECT_EQ(r2.scenario.values, r.scenario.values);
+  EXPECT_EQ(r2.scenario.script.pendings.size(),
+            r.scenario.script.pendings.size());
+}
+
+TEST(ScenarioParse, DefaultsDistinctValuesAndHorizon) {
+  const auto r = parseScenario("model rs\nalgorithm FloodSet\nn 4\nt 1\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.scenario.values, (std::vector<Value>{0, 1, 2, 3}));
+  EXPECT_EQ(r.scenario.horizon, 0);
+  const auto run = runScenario(r.scenario, false);
+  EXPECT_EQ(run.roundsExecuted, 2);  // decides at t+1 and stops
+}
+
+TEST(ScenarioParse, OptOutValues) {
+  const auto r = parseScenario(
+      "model rs\nalgorithm FloodSet\nn 3\nt 1\nvalues 5 _ 7\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.scenario.values[1], kUndecided);
+}
+
+TEST(ScenarioParse, ErrorsCarryLineNumbers) {
+  const auto r = parseScenario("model rs\nn 3\nt 1\nbanana 7\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 4"), std::string::npos);
+  EXPECT_NE(r.error.find("banana"), std::string::npos);
+}
+
+TEST(ScenarioParse, RejectsBadModel) {
+  EXPECT_FALSE(parseScenario("model sorta-sync\nn 2\nt 1\n").ok);
+}
+
+TEST(ScenarioParse, RejectsUnknownAlgorithm) {
+  const auto r = parseScenario("model rs\nalgorithm Paxos\nn 3\nt 1\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("Paxos"), std::string::npos);
+}
+
+TEST(ScenarioParse, RejectsScriptIllegalForModel) {
+  // Pending in RS.
+  const auto r = parseScenario(
+      "model rs\nalgorithm FloodSet\nn 3\nt 1\n"
+      "crash 0 round 1 sendto 1\npending 0 -> 1 round 1 arrival 2\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("illegal script"), std::string::npos);
+}
+
+TEST(ScenarioParse, RejectsOutOfRangeIds) {
+  EXPECT_FALSE(parseScenario("model rs\nalgorithm FloodSet\nn 3\nt 1\n"
+                             "crash 5 round 1 sendto none\n")
+                   .ok);
+  EXPECT_FALSE(parseScenario("model rs\nalgorithm FloodSet\nn 3\nt 1\n"
+                             "crash 0 round 1 sendto 0,9\n")
+                   .ok);
+}
+
+TEST(ScenarioParse, RejectsWrongValueCount) {
+  const auto r =
+      parseScenario("model rs\nalgorithm FloodSet\nn 3\nt 1\nvalues 1 2\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("exactly n"), std::string::npos);
+}
+
+TEST(ScenarioParse, RequiresNandT) {
+  EXPECT_FALSE(parseScenario("model rs\nalgorithm FloodSet\nn 3\n").ok);
+  EXPECT_FALSE(parseScenario("model rs\nalgorithm FloodSet\nt 1\n").ok);
+}
+
+TEST(ScenarioParse, CommentsAndBlankLinesIgnored) {
+  const auto r = parseScenario(
+      "# header\n\nmodel rs   # trailing\n\nalgorithm A1\nn 3\nt 1\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.scenario.algorithm, "A1");
+}
+
+}  // namespace
+}  // namespace ssvsp

@@ -1,0 +1,91 @@
+// Golden scenario library: every file in scenarios/ must parse, execute,
+// and reproduce its documented verdict.  These are the paper's named
+// counterexamples and showcase runs, kept replayable forever.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "rounds/spec.hpp"
+#include "scenario/scenario.hpp"
+
+#ifndef SSVSP_SCENARIO_DIR
+#error "SSVSP_SCENARIO_DIR must be defined by the build"
+#endif
+
+namespace ssvsp {
+namespace {
+
+struct Golden {
+  const char* file;
+  bool expectUniformOk;  // does the run satisfy uniform consensus?
+};
+
+class GoldenScenarios : public ::testing::TestWithParam<Golden> {};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing scenario file " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST_P(GoldenScenarios, ReplaysItsDocumentedVerdict) {
+  const Golden& g = GetParam();
+  const std::string text =
+      slurp(std::string(SSVSP_SCENARIO_DIR) + "/" + g.file);
+  const auto parsed = parseScenario(text);
+  ASSERT_TRUE(parsed.ok) << g.file << ": " << parsed.error;
+
+  const auto run = runScenario(parsed.scenario, /*traceDeliveries=*/false);
+  const auto verdict = checkUniformConsensus(run);
+  EXPECT_EQ(verdict.ok(), g.expectUniformOk)
+      << g.file << ": " << verdict.witness << "\n"
+      << run.toString();
+
+  // Every scenario file's adversary must be legal for its declared model —
+  // parseScenario validates, but assert the engine agrees end to end.
+  EXPECT_GE(run.roundsExecuted, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Library, GoldenScenarios,
+    ::testing::Values(
+        Golden{"floodset_rws_disagreement.txt", false},
+        Golden{"floodsetws_halt_set_saves_it.txt", true},
+        Golden{"a1_rws_disagreement.txt", false},
+        Golden{"a1_rs_partial_crash.txt", true},
+        Golden{"fopt_forced_decision.txt", true},
+        Golden{"early_staggered_tunnel.txt", true},
+        Golden{"nonuniform_decider_dies.txt", false}),
+    [](const auto& info) {
+      std::string name = info.param.file;
+      name = name.substr(0, name.find('.'));
+      return name;
+    });
+
+TEST(GoldenScenarios, SpecificDecisions) {
+  // Spot-check the values, not just the verdicts.
+  {
+    const auto parsed = parseScenario(
+        slurp(std::string(SSVSP_SCENARIO_DIR) + "/a1_rs_partial_crash.txt"));
+    ASSERT_TRUE(parsed.ok);
+    const auto run = runScenario(parsed.scenario, false);
+    for (ProcessId p = 1; p < 4; ++p)
+      EXPECT_EQ(*run.decision[static_cast<std::size_t>(p)], 3);
+  }
+  {
+    const auto parsed = parseScenario(
+        slurp(std::string(SSVSP_SCENARIO_DIR) + "/fopt_forced_decision.txt"));
+    ASSERT_TRUE(parsed.ok);
+    const auto run = runScenario(parsed.scenario, false);
+    EXPECT_EQ(run.decisionRound[1], 1);
+    EXPECT_EQ(run.decisionRound[2], 1);
+    EXPECT_EQ(run.decisionRound[0], 2);
+    EXPECT_EQ(*run.decision[0], 4);
+  }
+}
+
+}  // namespace
+}  // namespace ssvsp

@@ -1,0 +1,158 @@
+// Tests for the SDD problem (Section 3): the SS algorithm solves it under
+// every SS adversary we can generate; the Theorem 3.1 driver defeats every
+// SP candidate.
+#include <gtest/gtest.h>
+
+#include "runtime/executor.hpp"
+#include "sdd/impossibility.hpp"
+#include "sdd/sdd.hpp"
+#include "sync/ss_scheduler.hpp"
+#include "sync/synchrony.hpp"
+
+namespace ssvsp {
+namespace {
+
+RunTrace runSddOnSs(Value senderValue, int phi, int delta,
+                    FailurePattern pattern, std::uint64_t seed,
+                    std::int64_t maxSteps = 600) {
+  ExecutorConfig cfg;
+  cfg.n = 2;
+  cfg.maxSteps = maxSteps;
+  Rng rng(seed);
+  SsScheduler sched(2, phi, rng.fork());
+  SsDelivery delivery(rng.fork(), delta);
+  Executor ex(cfg, makeSddSsAlgorithm(senderValue, phi, delta),
+              std::move(pattern), sched, delivery);
+  return ex.run([](const Executor& e) {
+    return e.output(kSddReceiver).has_value() &&
+           e.localSteps(kSddSender) >= 1;
+  });
+}
+
+TEST(SddSs, FailureFreeDecidesSenderValue) {
+  for (Value v : {0, 1}) {
+    const auto trace = runSddOnSs(v, 2, 3, FailurePattern(2), 11 + v);
+    const auto verdict = checkSdd(trace, v);
+    EXPECT_TRUE(verdict.ok()) << verdict.witness;
+    EXPECT_EQ(*trace.decision(kSddReceiver), v);
+  }
+}
+
+TEST(SddSs, InitiallyDeadSenderDecidesZero) {
+  FailurePattern f(2);
+  f.setCrash(kSddSender, 1);  // never takes a step
+  const auto trace = runSddOnSs(1, 2, 3, f, 21);
+  const auto verdict = checkSdd(trace, 1);
+  EXPECT_TRUE(verdict.ok()) << verdict.witness;
+  EXPECT_EQ(*trace.decision(kSddReceiver), 0);
+}
+
+TEST(SddSs, SenderCrashAfterSendStillYieldsItsValue) {
+  // The sender takes its first step (sending the value) and crashes right
+  // after: validity requires the receiver to decide that value — and in SS
+  // it does, because delivery is forced within the Phi+1+Delta window.
+  FailurePattern f(2);
+  f.setCrash(kSddSender, 2);
+  for (Value v : {0, 1}) {
+    const auto trace = runSddOnSs(v, 1, 2, f, 31 + v);
+    if (trace.stepCount(kSddSender) == 0) continue;  // scheduler never ran it
+    const auto verdict = checkSdd(trace, v);
+    EXPECT_TRUE(verdict.ok()) << verdict.witness;
+    EXPECT_EQ(*trace.decision(kSddReceiver), v);
+  }
+}
+
+class SddSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SddSweep, SpecHoldsAcrossSeedsAndCrashTimes) {
+  const auto [phi, delta] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed * 1000 + phi * 10 + delta);
+    const Value v = static_cast<Value>(rng.uniformInt(0, 1));
+    FailurePattern f(2);
+    if (rng.bernoulli(0.6))
+      f.setCrash(kSddSender, rng.uniformInt(1, 2 * (phi + delta + 2)));
+    const auto trace = runSddOnSs(v, phi, delta, f, rng.next());
+    // Confirm the run really was an SS run for these bounds.
+    const auto sync = checkSsRun(trace, phi, delta);
+    ASSERT_TRUE(sync.ok) << sync.witness;
+    const auto verdict = checkSdd(trace, v);
+    ASSERT_TRUE(verdict.ok())
+        << "phi=" << phi << " delta=" << delta << " seed=" << seed << ": "
+        << verdict.witness << "\n"
+        << trace.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, SddSweep,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(1, 3),
+                                           std::make_tuple(2, 2),
+                                           std::make_tuple(3, 1),
+                                           std::make_tuple(4, 4)),
+                         [](const auto& info) {
+                           return "phi" + std::to_string(std::get<0>(info.param)) +
+                                  "d" + std::to_string(std::get<1>(info.param));
+                         });
+
+// ------------------------- Theorem 3.1 -----------------------------------
+
+TEST(Theorem31, DefeatsEveryStandardCandidate) {
+  for (const auto& candidate : standardSpCandidates()) {
+    const auto report = runTheorem31Adversary(candidate);
+    EXPECT_TRUE(report.defeated) << candidate.name;
+    EXPECT_FALSE(report.explanation.empty());
+  }
+}
+
+TEST(Theorem31, WorksForEverySuspicionDelay) {
+  const auto candidates = standardSpCandidates();
+  for (Time delay : {0, 1, 5, 40}) {
+    const auto report = runTheorem31Adversary(candidates[0], delay);
+    EXPECT_TRUE(report.defeated) << "delay " << delay;
+  }
+}
+
+TEST(Theorem31, ReportsTheIndistinguishableConstruction) {
+  const auto report = runTheorem31Adversary(standardSpCandidates()[0]);
+  ASSERT_TRUE(report.deadRunDecision.has_value());
+  // The violating value is the one the dead-sender decision cannot cover.
+  EXPECT_EQ(report.violatingValue, 1 - *report.deadRunDecision);
+  EXPECT_NE(report.explanation.find("Validity"), std::string::npos);
+  EXPECT_GT(report.decisionSteps, 0);
+}
+
+TEST(Theorem31, GraceCandidatesDecideLaterButStillLose) {
+  const auto candidates = standardSpCandidates();
+  const auto fast = runTheorem31Adversary(candidates[0]);   // grace 0
+  const auto slow = runTheorem31Adversary(candidates[2]);   // grace 64
+  EXPECT_TRUE(fast.defeated);
+  EXPECT_TRUE(slow.defeated);
+  // Waiting longer only postpones the decision; the adversary holds longer.
+  EXPECT_GT(slow.decisionSteps, fast.decisionSteps);
+}
+
+TEST(Theorem31, SsAlgorithmIsNotDefeatableBySameTrick) {
+  // Run the SS receiver under the SAME adversarial schedule the Theorem 3.1
+  // driver uses (message held indefinitely).  The receiver decides 0 after
+  // its Phi+1+Delta budget — but the run is NOT an SS run: the held message
+  // violates message synchrony.  This is the precise sense in which the
+  // impossibility argument cannot be replayed against SS.
+  const int phi = 1, delta = 2;
+  ExecutorConfig cfg;
+  cfg.n = 2;
+  cfg.maxSteps = 60;
+  FailurePattern f(2);
+  f.setCrash(kSddSender, 2);
+  ScriptedScheduler sched(2, {kSddSender}, /*fallback=*/true);
+  ScriptedHoldDelivery delivery;
+  delivery.holdChannel(kSddSender, kSddReceiver);
+  Executor ex(cfg, makeSddSsAlgorithm(1, phi, delta), f, sched, delivery);
+  const auto trace = ex.run();
+  // The receiver decided 0 (wrongly) — but only because the run broke Delta.
+  EXPECT_EQ(*trace.decision(kSddReceiver), 0);
+  EXPECT_FALSE(checkMessageSynchrony(trace, delta).ok);
+}
+
+}  // namespace
+}  // namespace ssvsp

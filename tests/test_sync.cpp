@@ -1,0 +1,260 @@
+// Tests for the SS model machinery: the Phi/Delta synchrony checkers, the
+// SS-conforming scheduler/delivery generators, and the timeout-based
+// implementation of the perfect failure detector (paper Section 3's "easy"
+// direction).
+#include <gtest/gtest.h>
+
+#include "fd/axioms.hpp"
+#include "runtime/executor.hpp"
+#include "sync/heartbeat_fd.hpp"
+#include "sync/ss_scheduler.hpp"
+#include "sync/synchrony.hpp"
+
+namespace ssvsp {
+namespace {
+
+// Idle automaton for schedule-shape tests.
+class Idle : public Automaton {
+ public:
+  void start(ProcessId, int) override {}
+  void onStep(StepContext&) override {}
+  std::optional<Value> output() const override { return std::nullopt; }
+};
+
+AutomatonFactory idleFactory() {
+  return [](ProcessId) { return std::make_unique<Idle>(); };
+}
+
+RunTrace traceOfScript(std::vector<ProcessId> script, int n,
+                       FailurePattern pattern) {
+  ExecutorConfig cfg;
+  cfg.n = n;
+  ScriptedScheduler sched(n, std::move(script), /*fallback=*/false);
+  ImmediateDelivery delivery;
+  Executor ex(cfg, idleFactory(), std::move(pattern), sched, delivery);
+  return ex.run();
+}
+
+TEST(ProcessSynchrony, RoundRobinSatisfiesPhi1) {
+  const auto t = traceOfScript({0, 1, 2, 0, 1, 2, 0, 1, 2}, 3,
+                               FailurePattern(3));
+  EXPECT_TRUE(checkProcessSynchrony(t, 1).ok);
+}
+
+TEST(ProcessSynchrony, DetectsStarvation) {
+  // p0 takes 3 consecutive steps while p2 is alive and silent: violates
+  // Phi = 2 (3 = Phi+1 steps in a window without p2).
+  const auto t = traceOfScript({1, 2, 0, 0, 0, 1}, 3, FailurePattern(3));
+  const auto r = checkProcessSynchrony(t, 2);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.witness.find("p0"), std::string::npos);
+  EXPECT_TRUE(checkProcessSynchrony(t, 3).ok);
+}
+
+TEST(ProcessSynchrony, CrashedProcessesDoNotConstrain) {
+  // p2 crashes at time 3; afterwards p0 may run solo for ever.
+  FailurePattern f(3);
+  f.setCrash(2, 3);
+  f.setCrash(1, 3);
+  const auto t = traceOfScript({0, 1, 0, 0, 0, 0, 0}, 3, std::move(f));
+  EXPECT_TRUE(checkProcessSynchrony(t, 1).ok);
+}
+
+TEST(ProcessSynchrony, WindowStartsAtScheduleStart) {
+  // p1 never steps although alive: the initial window already violates.
+  const auto t = traceOfScript({0, 0, 0}, 2, FailurePattern(2));
+  EXPECT_FALSE(checkProcessSynchrony(t, 2).ok);
+}
+
+// An automaton that sends one message to a fixed peer on its first step.
+class OneShot : public Automaton {
+ public:
+  explicit OneShot(ProcessId dst) : dst_(dst) {}
+  void start(ProcessId, int) override {}
+  void onStep(StepContext& ctx) override {
+    if (!sent_) {
+      ctx.send(dst_, {42});
+      sent_ = true;
+    }
+  }
+  std::optional<Value> output() const override { return std::nullopt; }
+
+ private:
+  ProcessId dst_;
+  bool sent_ = false;
+};
+
+TEST(MessageSynchrony, ImmediateDeliverySatisfiesDelta1) {
+  ExecutorConfig cfg;
+  cfg.n = 2;
+  cfg.maxSteps = 20;
+  RoundRobinScheduler sched(2);
+  ImmediateDelivery delivery;
+  Executor ex(
+      cfg, [](ProcessId) { return std::make_unique<OneShot>(1); },
+      FailurePattern(2), sched, delivery);
+  const auto t = ex.run();
+  EXPECT_TRUE(checkMessageSynchrony(t, 1).ok);
+}
+
+TEST(MessageSynchrony, HeldMessageViolatesDelta) {
+  ExecutorConfig cfg;
+  cfg.n = 2;
+  cfg.maxSteps = 30;
+  RoundRobinScheduler sched(2);
+  ScriptedHoldDelivery delivery;
+  delivery.holdChannel(0, 1);
+  Executor ex(
+      cfg, [](ProcessId) { return std::make_unique<OneShot>(1); },
+      FailurePattern(2), sched, delivery);
+  const auto t = ex.run();
+  const auto r = checkMessageSynchrony(t, 4);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.witness.find("not received"), std::string::npos);
+}
+
+class SsSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SsSweep, GeneratedRunsSatisfyBothConditions) {
+  const auto [n, phi, delta] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    FailurePattern pattern(n);
+    if (rng.bernoulli(0.5))
+      pattern.setCrash(static_cast<ProcessId>(rng.uniformInt(0, n - 1)),
+                       rng.uniformInt(1, 120));
+    ExecutorConfig cfg;
+    cfg.n = n;
+    cfg.maxSteps = 400;
+    SsScheduler sched(n, phi, rng.fork(), /*bias=*/seed % 3 == 0 ? 2.0 : 0.0);
+    SsDelivery delivery(rng.fork(), delta);
+    Executor ex(
+        cfg,
+        [n2 = n](ProcessId p) {
+          return std::make_unique<OneShot>((p + 1) % n2);
+        },
+        pattern, sched, delivery);
+    const auto t = ex.run();
+    const auto r = checkSsRun(t, phi, delta);
+    ASSERT_TRUE(r.ok) << "n=" << n << " phi=" << phi << " delta=" << delta
+                      << " seed=" << seed << ": " << r.witness;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bounds, SsSweep,
+    ::testing::Values(std::make_tuple(2, 1, 1), std::make_tuple(3, 1, 2),
+                      std::make_tuple(3, 2, 1), std::make_tuple(4, 2, 3),
+                      std::make_tuple(5, 3, 2), std::make_tuple(6, 2, 4)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "phi" +
+             std::to_string(std::get<1>(info.param)) + "d" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ------------------------- timeout-based P on SS -------------------------
+
+TEST(TimeoutP, AccurateWithSafeTimeout) {
+  // No process ever suspects an alive peer, across seeds and crash patterns.
+  const int n = 4, phi = 2, delta = 3;
+  const auto timeout = safeTimeout(n, phi, delta);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    FailurePattern pattern(n);
+    Rng rng(seed * 17);
+    pattern.setCrash(static_cast<ProcessId>(rng.uniformInt(0, n - 1)),
+                     rng.uniformInt(50, 300));
+
+    ExecutorConfig cfg;
+    cfg.n = n;
+    cfg.maxSteps = 2500;
+    SsScheduler sched(n, phi, rng.fork());
+    SsDelivery delivery(rng.fork(), delta);
+    std::vector<HeartbeatAutomaton*> hbs;
+    Executor ex(
+        cfg,
+        [timeout, &hbs](ProcessId) {
+          auto a = std::make_unique<HeartbeatAutomaton>(timeout);
+          hbs.push_back(a.get());
+          return a;
+        },
+        pattern, sched, delivery);
+    // Check accuracy after every step via the stop predicate (never stops).
+    bool accurate = true;
+    ex.run([&](const Executor& e) {
+      for (ProcessId p = 0; p < n; ++p) {
+        for (ProcessId q : hbs[static_cast<std::size_t>(p)]->suspected()) {
+          if (e.pattern().crashTime(q) == kNever) accurate = false;
+        }
+      }
+      return !accurate;
+    });
+    ASSERT_TRUE(accurate) << "false suspicion with safe timeout, seed "
+                          << seed;
+  }
+}
+
+TEST(TimeoutP, CompleteCrashesEventuallySuspected) {
+  const int n = 3, phi = 1, delta = 2;
+  const auto timeout = safeTimeout(n, phi, delta);
+  FailurePattern pattern(n);
+  pattern.setCrash(2, 40);
+  Rng rng(5);
+  ExecutorConfig cfg;
+  cfg.n = n;
+  cfg.maxSteps = 2000;
+  SsScheduler sched(n, phi, rng.fork());
+  SsDelivery delivery(rng.fork(), delta);
+  std::vector<HeartbeatAutomaton*> hbs;
+  Executor ex(
+      cfg,
+      [timeout, &hbs](ProcessId) {
+        auto a = std::make_unique<HeartbeatAutomaton>(timeout);
+        hbs.push_back(a.get());
+        return a;
+      },
+      pattern, sched, delivery);
+  ex.run();
+  EXPECT_TRUE(hbs[0]->suspected().contains(2));
+  EXPECT_TRUE(hbs[1]->suspected().contains(2));
+  EXPECT_FALSE(hbs[0]->suspected().contains(1));
+}
+
+TEST(TimeoutP, UndersizedTimeoutFalselySuspects) {
+  // A timeout that ignores Phi and Delta (e.g. 2 steps) breaks accuracy:
+  // this is the quantitative reason the SS->P construction needs the bounds,
+  // and why no such construction exists in an asynchronous system.
+  const int n = 4, phi = 2, delta = 3;
+  bool falseSuspicion = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !falseSuspicion; ++seed) {
+    Rng rng(seed);
+    ExecutorConfig cfg;
+    cfg.n = n;
+    cfg.maxSteps = 800;
+    SsScheduler sched(n, phi, rng.fork());
+    SsDelivery delivery(rng.fork(), delta);
+    std::vector<HeartbeatAutomaton*> hbs;
+    Executor ex(
+        cfg,
+        [&hbs](ProcessId) {
+          auto a = std::make_unique<HeartbeatAutomaton>(2);
+          hbs.push_back(a.get());
+          return a;
+        },
+        FailurePattern(n), sched, delivery);
+    ex.run([&](const Executor&) {
+      for (auto* hb : hbs)
+        if (!hb->suspected().empty()) falseSuspicion = true;
+      return falseSuspicion;
+    });
+  }
+  EXPECT_TRUE(falseSuspicion);
+}
+
+TEST(SafeTimeout, GrowsWithParameters) {
+  EXPECT_LT(safeTimeout(3, 1, 1), safeTimeout(3, 1, 5));
+  EXPECT_LT(safeTimeout(3, 1, 1), safeTimeout(3, 4, 1));
+  EXPECT_LT(safeTimeout(3, 1, 1), safeTimeout(8, 1, 1));
+}
+
+}  // namespace
+}  // namespace ssvsp

@@ -1,0 +1,264 @@
+// Unit tests for src/util: rng determinism and distributions, ProcessSet
+// algebra, payload serde round-trips, stats, and table formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/process_set.hpp"
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ssvsp {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniformInt(-3, 11);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 11);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniformInt(5, 5), 5);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniformInt(2, 1), InvariantViolation);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniformReal();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyFair) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.bernoulli(0.5);
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(Rng, SubsetMaskStaysInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const auto m = rng.subsetMask(5);
+    EXPECT_LT(m, 32u);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(23);
+  Rng child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(ProcessSet, EmptyByDefault) {
+  ProcessSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+}
+
+TEST(ProcessSet, InsertEraseContains) {
+  ProcessSet s;
+  s.insert(3);
+  s.insert(0);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(s.size(), 2);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(ProcessSet, FullSet) {
+  const auto s = ProcessSet::full(6);
+  EXPECT_EQ(s.size(), 6);
+  for (ProcessId p = 0; p < 6; ++p) EXPECT_TRUE(s.contains(p));
+  EXPECT_FALSE(s.contains(6));
+}
+
+TEST(ProcessSet, FullSet64) {
+  const auto s = ProcessSet::full(64);
+  EXPECT_EQ(s.size(), 64);
+  EXPECT_TRUE(s.contains(63));
+}
+
+TEST(ProcessSet, SetAlgebra) {
+  const ProcessSet a{0, 1, 2};
+  const ProcessSet b{2, 3};
+  EXPECT_EQ((a | b), (ProcessSet{0, 1, 2, 3}));
+  EXPECT_EQ((a & b), ProcessSet{2});
+  EXPECT_EQ((a - b), (ProcessSet{0, 1}));
+  EXPECT_TRUE((a & b).isSubsetOf(a));
+  EXPECT_TRUE(ProcessSet().isSubsetOf(a));
+  EXPECT_FALSE(a.isSubsetOf(b));
+}
+
+TEST(ProcessSet, IterationInOrder) {
+  const ProcessSet s{5, 1, 9};
+  std::vector<ProcessId> got(s.begin(), s.end());
+  EXPECT_EQ(got, (std::vector<ProcessId>{1, 5, 9}));
+}
+
+TEST(ProcessSet, MinAndToString) {
+  const ProcessSet s{4, 2, 7};
+  EXPECT_EQ(s.min(), 2);
+  EXPECT_EQ(s.toString(), "{2,4,7}");
+  EXPECT_THROW(ProcessSet().min(), InvariantViolation);
+}
+
+TEST(ProcessSet, OutOfRangeIdThrows) {
+  ProcessSet s;
+  EXPECT_THROW(s.insert(64), InvariantViolation);
+  EXPECT_THROW(s.insert(-1), InvariantViolation);
+}
+
+TEST(Serde, IntRoundTrip) {
+  PayloadWriter w;
+  w.putInt(42).putInt(-7).putBool(true).putProcess(3);
+  const Payload p = std::move(w).take();
+  PayloadReader r(p);
+  EXPECT_EQ(r.getInt(), 42);
+  EXPECT_EQ(r.getInt(), -7);
+  EXPECT_TRUE(r.getBool());
+  EXPECT_EQ(r.getProcess(), 3);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serde, ValueListSortedDeduplicated) {
+  PayloadWriter w;
+  w.putValueList({5, 1, 5, 3, 1});
+  PayloadReader r(w.peek());
+  EXPECT_EQ(r.getValueList(), (std::vector<Value>{1, 3, 5}));
+}
+
+TEST(Serde, EmptyValueList) {
+  PayloadWriter w;
+  w.putValueList({});
+  PayloadReader r(w.peek());
+  EXPECT_TRUE(r.getValueList().empty());
+}
+
+TEST(Serde, ProcessSetRoundTrip) {
+  const ProcessSet s{0, 31, 32, 63};
+  PayloadWriter w;
+  w.putProcessSet(s);
+  PayloadReader r(w.peek());
+  EXPECT_EQ(r.getProcessSet(), s);
+}
+
+TEST(Serde, UnderflowThrows) {
+  const Payload p{1};
+  PayloadReader r(p);
+  r.getInt();
+  EXPECT_THROW(r.getInt(), InvariantViolation);
+}
+
+TEST(Serde, PayloadToString) {
+  EXPECT_EQ(payloadToString({1, 2, 3}), "[1 2 3]");
+  EXPECT_EQ(payloadToString({}), "[]");
+}
+
+TEST(Stats, BasicSummary) {
+  Stats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 4.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 2.5);
+}
+
+TEST(Stats, EmptyThrows) {
+  Stats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), InvariantViolation);
+  EXPECT_THROW(s.percentile(50), InvariantViolation);
+}
+
+TEST(Stats, StddevOfConstant) {
+  Stats s;
+  for (int i = 0; i < 5; ++i) s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"a", "bee"});
+  t.addRowValues(1, "x");
+  t.addRowValues(23, "yy");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| a  | bee |"), std::string::npos);
+  EXPECT_NE(out.find("| 23 | yy  |"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), InvariantViolation);
+}
+
+TEST(Check, MacrosThrowWithContext) {
+  try {
+    SSVSP_CHECK_MSG(1 == 2, "ctx " << 42);
+    FAIL() << "should have thrown";
+  } catch (const InvariantViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ssvsp

@@ -1,0 +1,115 @@
+// Tests for the visualization module: the renderers must be deterministic,
+// structurally complete (every round/step/message represented), and valid
+// enough for Graphviz (balanced braces, declared nodes).
+#include <gtest/gtest.h>
+
+#include "consensus/registry.hpp"
+#include "runtime/executor.hpp"
+#include "viz/spacetime.hpp"
+
+namespace ssvsp {
+namespace {
+
+RoundRunResult sampleRoundRun() {
+  RoundConfig cfg{3, 1};
+  FailureScript script;
+  script.crashes.push_back({0, 2, ProcessSet{}});
+  script.pendings.push_back({0, 1, 1, 2});
+  RoundEngineOptions opt;
+  opt.horizon = 3;
+  opt.traceDeliveries = true;
+  opt.stopWhenAllDecided = false;
+  return runRounds(cfg, RoundModel::kRws,
+                   algorithmByName("FloodSetWS").factory, {5, 6, 7}, script,
+                   opt);
+}
+
+TEST(RenderRoundRun, ShowsRoundsCrashesAndDecisions) {
+  const auto run = sampleRoundRun();
+  const std::string out = renderRoundRun(run);
+  EXPECT_NE(out.find("RWS n=3 t=1"), std::string::npos);
+  EXPECT_NE(out.find("X->{}"), std::string::npos);  // crash of p0 at round 2
+  EXPECT_NE(out.find("d="), std::string::npos);     // some decision shown
+  EXPECT_NE(out.find("faulty={0}"), std::string::npos);
+  // The late delivery is annotated with its send round.
+  EXPECT_NE(out.find("(sent r1)"), std::string::npos);
+}
+
+TEST(RenderRoundRun, Deterministic) {
+  const auto a = renderRoundRun(sampleRoundRun());
+  const auto b = renderRoundRun(sampleRoundRun());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RoundRunToDot, ProducesBalancedGraph) {
+  const auto run = sampleRoundRun();
+  const std::string dot = roundRunToDot(run);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+  EXPECT_NE(dot.find("digraph rounds"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);      // crash node
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);   // late delivery
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);   // decision
+}
+
+class Chatter : public Automaton {
+ public:
+  void start(ProcessId self, int n) override {
+    self_ = self;
+    n_ = n;
+  }
+  void onStep(StepContext& ctx) override {
+    if (sent_ < 2) {
+      ctx.send((self_ + 1) % n_, {self_});
+      ++sent_;
+    }
+    if (!ctx.received().empty()) out_ = 1;
+  }
+  std::optional<Value> output() const override { return out_; }
+
+ private:
+  ProcessId self_ = 0;
+  int n_ = 0;
+  int sent_ = 0;
+  std::optional<Value> out_;
+};
+
+RunTrace sampleStepTrace() {
+  ExecutorConfig cfg;
+  cfg.n = 3;
+  cfg.maxSteps = 15;
+  RoundRobinScheduler sched(3);
+  ImmediateDelivery delivery;
+  Executor ex(
+      cfg, [](ProcessId) { return std::make_unique<Chatter>(); },
+      FailurePattern(3), sched, delivery);
+  return ex.run();
+}
+
+TEST(RenderStepTrace, ListsEveryStepWithActions) {
+  const auto trace = sampleStepTrace();
+  const std::string out = renderStepTrace(trace);
+  EXPECT_NE(out.find("send->p1"), std::string::npos);
+  EXPECT_NE(out.find("recv<-p"), std::string::npos);
+  EXPECT_NE(out.find("output="), std::string::npos);
+  // 15 steps plus a header line.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 16);
+}
+
+TEST(RenderStepTrace, TruncationNote) {
+  const auto trace = sampleStepTrace();
+  const std::string out = renderStepTrace(trace, 5);
+  EXPECT_NE(out.find("more steps"), std::string::npos);
+}
+
+TEST(ToDot, MessageEdgesPresent) {
+  const auto trace = sampleStepTrace();
+  const std::string dot = toDot(trace);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+  EXPECT_NE(dot.find("cluster_p0"), std::string::npos);
+  EXPECT_NE(dot.find("color=blue"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssvsp
