@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_lambda.dir/bench_a1_lambda.cpp.o"
+  "CMakeFiles/bench_a1_lambda.dir/bench_a1_lambda.cpp.o.d"
+  "bench_a1_lambda"
+  "bench_a1_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_consensus.dir/bench_async_consensus.cpp.o"
+  "CMakeFiles/bench_async_consensus.dir/bench_async_consensus.cpp.o.d"
+  "bench_async_consensus"
+  "bench_async_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_commit_rate.dir/bench_commit_rate.cpp.o"
+  "CMakeFiles/bench_commit_rate.dir/bench_commit_rate.cpp.o.d"
+  "bench_commit_rate"
+  "bench_commit_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_commit_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

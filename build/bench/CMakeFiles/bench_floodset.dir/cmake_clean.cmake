@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_floodset.dir/bench_floodset.cpp.o"
+  "CMakeFiles/bench_floodset.dir/bench_floodset.cpp.o.d"
+  "bench_floodset"
+  "bench_floodset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_floodset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

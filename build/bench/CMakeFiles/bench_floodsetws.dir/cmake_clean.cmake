@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_floodsetws.dir/bench_floodsetws.cpp.o"
+  "CMakeFiles/bench_floodsetws.dir/bench_floodsetws.cpp.o.d"
+  "bench_floodsetws"
+  "bench_floodsetws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_floodsetws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_Lat.dir/bench_latency_Lat.cpp.o"
+  "CMakeFiles/bench_latency_Lat.dir/bench_latency_Lat.cpp.o.d"
+  "bench_latency_Lat"
+  "bench_latency_Lat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_Lat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

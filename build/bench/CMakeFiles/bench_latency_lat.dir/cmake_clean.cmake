@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_lat.dir/bench_latency_lat.cpp.o"
+  "CMakeFiles/bench_latency_lat.dir/bench_latency_lat.cpp.o.d"
+  "bench_latency_lat"
+  "bench_latency_lat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_lat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sdd.dir/bench_sdd.cpp.o"
+  "CMakeFiles/bench_sdd.dir/bench_sdd.cpp.o.d"
+  "bench_sdd"
+  "bench_sdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

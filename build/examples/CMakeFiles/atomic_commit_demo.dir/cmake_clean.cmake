@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_commit_demo.dir/atomic_commit_demo.cpp.o"
+  "CMakeFiles/atomic_commit_demo.dir/atomic_commit_demo.cpp.o.d"
+  "atomic_commit_demo"
+  "atomic_commit_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_commit_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdd_demo.dir/sdd_demo.cpp.o"
+  "CMakeFiles/sdd_demo.dir/sdd_demo.cpp.o.d"
+  "sdd_demo"
+  "sdd_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdd_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("runtime")
+subdirs("fd")
+subdirs("sync")
+subdirs("rounds")
+subdirs("consensus")
+subdirs("latency")
+subdirs("mc")
+subdirs("sdd")
+subdirs("commit")
+subdirs("broadcast")
+subdirs("async_consensus")
+subdirs("viz")
+subdirs("scenario")
+subdirs("rsm")
+subdirs("emul")
+subdirs("core")

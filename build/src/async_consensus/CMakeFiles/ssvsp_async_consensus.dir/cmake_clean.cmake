@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvsp_async_consensus.dir/rotating.cpp.o"
+  "CMakeFiles/ssvsp_async_consensus.dir/rotating.cpp.o.d"
+  "libssvsp_async_consensus.a"
+  "libssvsp_async_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvsp_async_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

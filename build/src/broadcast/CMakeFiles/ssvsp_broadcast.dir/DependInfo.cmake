@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broadcast/atomic.cpp" "src/broadcast/CMakeFiles/ssvsp_broadcast.dir/atomic.cpp.o" "gcc" "src/broadcast/CMakeFiles/ssvsp_broadcast.dir/atomic.cpp.o.d"
+  "/root/repo/src/broadcast/spec.cpp" "src/broadcast/CMakeFiles/ssvsp_broadcast.dir/spec.cpp.o" "gcc" "src/broadcast/CMakeFiles/ssvsp_broadcast.dir/spec.cpp.o.d"
+  "/root/repo/src/broadcast/urb.cpp" "src/broadcast/CMakeFiles/ssvsp_broadcast.dir/urb.cpp.o" "gcc" "src/broadcast/CMakeFiles/ssvsp_broadcast.dir/urb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rounds/CMakeFiles/ssvsp_rounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssvsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvsp_broadcast.dir/atomic.cpp.o"
+  "CMakeFiles/ssvsp_broadcast.dir/atomic.cpp.o.d"
+  "CMakeFiles/ssvsp_broadcast.dir/spec.cpp.o"
+  "CMakeFiles/ssvsp_broadcast.dir/spec.cpp.o.d"
+  "CMakeFiles/ssvsp_broadcast.dir/urb.cpp.o"
+  "CMakeFiles/ssvsp_broadcast.dir/urb.cpp.o.d"
+  "libssvsp_broadcast.a"
+  "libssvsp_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvsp_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

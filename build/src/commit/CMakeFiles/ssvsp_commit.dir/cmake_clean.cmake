@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvsp_commit.dir/commit.cpp.o"
+  "CMakeFiles/ssvsp_commit.dir/commit.cpp.o.d"
+  "libssvsp_commit.a"
+  "libssvsp_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvsp_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

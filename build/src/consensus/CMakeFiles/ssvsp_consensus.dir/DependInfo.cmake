@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/a1.cpp" "src/consensus/CMakeFiles/ssvsp_consensus.dir/a1.cpp.o" "gcc" "src/consensus/CMakeFiles/ssvsp_consensus.dir/a1.cpp.o.d"
+  "/root/repo/src/consensus/early_floodset.cpp" "src/consensus/CMakeFiles/ssvsp_consensus.dir/early_floodset.cpp.o" "gcc" "src/consensus/CMakeFiles/ssvsp_consensus.dir/early_floodset.cpp.o.d"
+  "/root/repo/src/consensus/early_floodset_ws.cpp" "src/consensus/CMakeFiles/ssvsp_consensus.dir/early_floodset_ws.cpp.o" "gcc" "src/consensus/CMakeFiles/ssvsp_consensus.dir/early_floodset_ws.cpp.o.d"
+  "/root/repo/src/consensus/floodset.cpp" "src/consensus/CMakeFiles/ssvsp_consensus.dir/floodset.cpp.o" "gcc" "src/consensus/CMakeFiles/ssvsp_consensus.dir/floodset.cpp.o.d"
+  "/root/repo/src/consensus/nonuniform.cpp" "src/consensus/CMakeFiles/ssvsp_consensus.dir/nonuniform.cpp.o" "gcc" "src/consensus/CMakeFiles/ssvsp_consensus.dir/nonuniform.cpp.o.d"
+  "/root/repo/src/consensus/opt_floodset.cpp" "src/consensus/CMakeFiles/ssvsp_consensus.dir/opt_floodset.cpp.o" "gcc" "src/consensus/CMakeFiles/ssvsp_consensus.dir/opt_floodset.cpp.o.d"
+  "/root/repo/src/consensus/registry.cpp" "src/consensus/CMakeFiles/ssvsp_consensus.dir/registry.cpp.o" "gcc" "src/consensus/CMakeFiles/ssvsp_consensus.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rounds/CMakeFiles/ssvsp_rounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssvsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvsp_consensus.dir/a1.cpp.o"
+  "CMakeFiles/ssvsp_consensus.dir/a1.cpp.o.d"
+  "CMakeFiles/ssvsp_consensus.dir/early_floodset.cpp.o"
+  "CMakeFiles/ssvsp_consensus.dir/early_floodset.cpp.o.d"
+  "CMakeFiles/ssvsp_consensus.dir/early_floodset_ws.cpp.o"
+  "CMakeFiles/ssvsp_consensus.dir/early_floodset_ws.cpp.o.d"
+  "CMakeFiles/ssvsp_consensus.dir/floodset.cpp.o"
+  "CMakeFiles/ssvsp_consensus.dir/floodset.cpp.o.d"
+  "CMakeFiles/ssvsp_consensus.dir/nonuniform.cpp.o"
+  "CMakeFiles/ssvsp_consensus.dir/nonuniform.cpp.o.d"
+  "CMakeFiles/ssvsp_consensus.dir/opt_floodset.cpp.o"
+  "CMakeFiles/ssvsp_consensus.dir/opt_floodset.cpp.o.d"
+  "CMakeFiles/ssvsp_consensus.dir/registry.cpp.o"
+  "CMakeFiles/ssvsp_consensus.dir/registry.cpp.o.d"
+  "libssvsp_consensus.a"
+  "libssvsp_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvsp_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

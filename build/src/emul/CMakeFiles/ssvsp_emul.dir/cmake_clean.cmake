@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvsp_emul.dir/rs_from_ss.cpp.o"
+  "CMakeFiles/ssvsp_emul.dir/rs_from_ss.cpp.o.d"
+  "CMakeFiles/ssvsp_emul.dir/rws_from_sp.cpp.o"
+  "CMakeFiles/ssvsp_emul.dir/rws_from_sp.cpp.o.d"
+  "libssvsp_emul.a"
+  "libssvsp_emul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvsp_emul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

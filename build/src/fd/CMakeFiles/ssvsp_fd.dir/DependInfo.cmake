@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fd/axioms.cpp" "src/fd/CMakeFiles/ssvsp_fd.dir/axioms.cpp.o" "gcc" "src/fd/CMakeFiles/ssvsp_fd.dir/axioms.cpp.o.d"
+  "/root/repo/src/fd/failure_detectors.cpp" "src/fd/CMakeFiles/ssvsp_fd.dir/failure_detectors.cpp.o" "gcc" "src/fd/CMakeFiles/ssvsp_fd.dir/failure_detectors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ssvsp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssvsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvsp_fd.dir/axioms.cpp.o"
+  "CMakeFiles/ssvsp_fd.dir/axioms.cpp.o.d"
+  "CMakeFiles/ssvsp_fd.dir/failure_detectors.cpp.o"
+  "CMakeFiles/ssvsp_fd.dir/failure_detectors.cpp.o.d"
+  "libssvsp_fd.a"
+  "libssvsp_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvsp_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvsp_latency.dir/latency.cpp.o"
+  "CMakeFiles/ssvsp_latency.dir/latency.cpp.o.d"
+  "libssvsp_latency.a"
+  "libssvsp_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvsp_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/checker.cpp" "src/mc/CMakeFiles/ssvsp_mc.dir/checker.cpp.o" "gcc" "src/mc/CMakeFiles/ssvsp_mc.dir/checker.cpp.o.d"
+  "/root/repo/src/mc/enumerator.cpp" "src/mc/CMakeFiles/ssvsp_mc.dir/enumerator.cpp.o" "gcc" "src/mc/CMakeFiles/ssvsp_mc.dir/enumerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rounds/CMakeFiles/ssvsp_rounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssvsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

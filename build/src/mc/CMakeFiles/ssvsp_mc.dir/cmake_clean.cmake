@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvsp_mc.dir/checker.cpp.o"
+  "CMakeFiles/ssvsp_mc.dir/checker.cpp.o.d"
+  "CMakeFiles/ssvsp_mc.dir/enumerator.cpp.o"
+  "CMakeFiles/ssvsp_mc.dir/enumerator.cpp.o.d"
+  "libssvsp_mc.a"
+  "libssvsp_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvsp_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rounds/adversary.cpp" "src/rounds/CMakeFiles/ssvsp_rounds.dir/adversary.cpp.o" "gcc" "src/rounds/CMakeFiles/ssvsp_rounds.dir/adversary.cpp.o.d"
+  "/root/repo/src/rounds/engine.cpp" "src/rounds/CMakeFiles/ssvsp_rounds.dir/engine.cpp.o" "gcc" "src/rounds/CMakeFiles/ssvsp_rounds.dir/engine.cpp.o.d"
+  "/root/repo/src/rounds/failure_script.cpp" "src/rounds/CMakeFiles/ssvsp_rounds.dir/failure_script.cpp.o" "gcc" "src/rounds/CMakeFiles/ssvsp_rounds.dir/failure_script.cpp.o.d"
+  "/root/repo/src/rounds/spec.cpp" "src/rounds/CMakeFiles/ssvsp_rounds.dir/spec.cpp.o" "gcc" "src/rounds/CMakeFiles/ssvsp_rounds.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ssvsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvsp_rounds.dir/adversary.cpp.o"
+  "CMakeFiles/ssvsp_rounds.dir/adversary.cpp.o.d"
+  "CMakeFiles/ssvsp_rounds.dir/engine.cpp.o"
+  "CMakeFiles/ssvsp_rounds.dir/engine.cpp.o.d"
+  "CMakeFiles/ssvsp_rounds.dir/failure_script.cpp.o"
+  "CMakeFiles/ssvsp_rounds.dir/failure_script.cpp.o.d"
+  "CMakeFiles/ssvsp_rounds.dir/spec.cpp.o"
+  "CMakeFiles/ssvsp_rounds.dir/spec.cpp.o.d"
+  "libssvsp_rounds.a"
+  "libssvsp_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvsp_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

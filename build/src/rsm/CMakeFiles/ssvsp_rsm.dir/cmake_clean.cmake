@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvsp_rsm.dir/rsm.cpp.o"
+  "CMakeFiles/ssvsp_rsm.dir/rsm.cpp.o.d"
+  "libssvsp_rsm.a"
+  "libssvsp_rsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvsp_rsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/delivery.cpp" "src/runtime/CMakeFiles/ssvsp_runtime.dir/delivery.cpp.o" "gcc" "src/runtime/CMakeFiles/ssvsp_runtime.dir/delivery.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/runtime/CMakeFiles/ssvsp_runtime.dir/executor.cpp.o" "gcc" "src/runtime/CMakeFiles/ssvsp_runtime.dir/executor.cpp.o.d"
+  "/root/repo/src/runtime/failure_pattern.cpp" "src/runtime/CMakeFiles/ssvsp_runtime.dir/failure_pattern.cpp.o" "gcc" "src/runtime/CMakeFiles/ssvsp_runtime.dir/failure_pattern.cpp.o.d"
+  "/root/repo/src/runtime/schedulers.cpp" "src/runtime/CMakeFiles/ssvsp_runtime.dir/schedulers.cpp.o" "gcc" "src/runtime/CMakeFiles/ssvsp_runtime.dir/schedulers.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/runtime/CMakeFiles/ssvsp_runtime.dir/trace.cpp.o" "gcc" "src/runtime/CMakeFiles/ssvsp_runtime.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ssvsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

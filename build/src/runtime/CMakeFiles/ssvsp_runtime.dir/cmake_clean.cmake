@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvsp_runtime.dir/delivery.cpp.o"
+  "CMakeFiles/ssvsp_runtime.dir/delivery.cpp.o.d"
+  "CMakeFiles/ssvsp_runtime.dir/executor.cpp.o"
+  "CMakeFiles/ssvsp_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/ssvsp_runtime.dir/failure_pattern.cpp.o"
+  "CMakeFiles/ssvsp_runtime.dir/failure_pattern.cpp.o.d"
+  "CMakeFiles/ssvsp_runtime.dir/schedulers.cpp.o"
+  "CMakeFiles/ssvsp_runtime.dir/schedulers.cpp.o.d"
+  "CMakeFiles/ssvsp_runtime.dir/trace.cpp.o"
+  "CMakeFiles/ssvsp_runtime.dir/trace.cpp.o.d"
+  "libssvsp_runtime.a"
+  "libssvsp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvsp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

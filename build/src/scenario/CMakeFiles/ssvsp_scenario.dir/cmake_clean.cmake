@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvsp_scenario.dir/scenario.cpp.o"
+  "CMakeFiles/ssvsp_scenario.dir/scenario.cpp.o.d"
+  "libssvsp_scenario.a"
+  "libssvsp_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvsp_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdd/impossibility.cpp" "src/sdd/CMakeFiles/ssvsp_sdd.dir/impossibility.cpp.o" "gcc" "src/sdd/CMakeFiles/ssvsp_sdd.dir/impossibility.cpp.o.d"
+  "/root/repo/src/sdd/sdd.cpp" "src/sdd/CMakeFiles/ssvsp_sdd.dir/sdd.cpp.o" "gcc" "src/sdd/CMakeFiles/ssvsp_sdd.dir/sdd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ssvsp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/ssvsp_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssvsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvsp_sdd.dir/impossibility.cpp.o"
+  "CMakeFiles/ssvsp_sdd.dir/impossibility.cpp.o.d"
+  "CMakeFiles/ssvsp_sdd.dir/sdd.cpp.o"
+  "CMakeFiles/ssvsp_sdd.dir/sdd.cpp.o.d"
+  "libssvsp_sdd.a"
+  "libssvsp_sdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvsp_sdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

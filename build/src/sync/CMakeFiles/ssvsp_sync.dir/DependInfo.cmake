@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/heartbeat_fd.cpp" "src/sync/CMakeFiles/ssvsp_sync.dir/heartbeat_fd.cpp.o" "gcc" "src/sync/CMakeFiles/ssvsp_sync.dir/heartbeat_fd.cpp.o.d"
+  "/root/repo/src/sync/ss_scheduler.cpp" "src/sync/CMakeFiles/ssvsp_sync.dir/ss_scheduler.cpp.o" "gcc" "src/sync/CMakeFiles/ssvsp_sync.dir/ss_scheduler.cpp.o.d"
+  "/root/repo/src/sync/synchrony.cpp" "src/sync/CMakeFiles/ssvsp_sync.dir/synchrony.cpp.o" "gcc" "src/sync/CMakeFiles/ssvsp_sync.dir/synchrony.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ssvsp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssvsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

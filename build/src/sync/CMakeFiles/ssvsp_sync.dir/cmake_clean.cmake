@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvsp_sync.dir/heartbeat_fd.cpp.o"
+  "CMakeFiles/ssvsp_sync.dir/heartbeat_fd.cpp.o.d"
+  "CMakeFiles/ssvsp_sync.dir/ss_scheduler.cpp.o"
+  "CMakeFiles/ssvsp_sync.dir/ss_scheduler.cpp.o.d"
+  "CMakeFiles/ssvsp_sync.dir/synchrony.cpp.o"
+  "CMakeFiles/ssvsp_sync.dir/synchrony.cpp.o.d"
+  "libssvsp_sync.a"
+  "libssvsp_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvsp_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libssvsp_sync.a"
+)

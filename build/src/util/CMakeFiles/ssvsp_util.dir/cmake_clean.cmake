@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvsp_util.dir/logging.cpp.o"
+  "CMakeFiles/ssvsp_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ssvsp_util.dir/process_set.cpp.o"
+  "CMakeFiles/ssvsp_util.dir/process_set.cpp.o.d"
+  "CMakeFiles/ssvsp_util.dir/rng.cpp.o"
+  "CMakeFiles/ssvsp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ssvsp_util.dir/serde.cpp.o"
+  "CMakeFiles/ssvsp_util.dir/serde.cpp.o.d"
+  "CMakeFiles/ssvsp_util.dir/stats.cpp.o"
+  "CMakeFiles/ssvsp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ssvsp_util.dir/table.cpp.o"
+  "CMakeFiles/ssvsp_util.dir/table.cpp.o.d"
+  "libssvsp_util.a"
+  "libssvsp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvsp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/spacetime.cpp" "src/viz/CMakeFiles/ssvsp_viz.dir/spacetime.cpp.o" "gcc" "src/viz/CMakeFiles/ssvsp_viz.dir/spacetime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rounds/CMakeFiles/ssvsp_rounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ssvsp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssvsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssvsp_viz.dir/spacetime.cpp.o"
+  "CMakeFiles/ssvsp_viz.dir/spacetime.cpp.o.d"
+  "libssvsp_viz.a"
+  "libssvsp_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssvsp_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_consensus.dir/test_async_consensus.cpp.o"
+  "CMakeFiles/test_async_consensus.dir/test_async_consensus.cpp.o.d"
+  "test_async_consensus"
+  "test_async_consensus.pdb"
+  "test_async_consensus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emul.dir/test_emul.cpp.o"
+  "CMakeFiles/test_emul.dir/test_emul.cpp.o.d"
+  "test_emul"
+  "test_emul.pdb"
+  "test_emul[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonuniform.dir/test_nonuniform.cpp.o"
+  "CMakeFiles/test_nonuniform.dir/test_nonuniform.cpp.o.d"
+  "test_nonuniform"
+  "test_nonuniform.pdb"
+  "test_nonuniform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonuniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenarios_golden.dir/test_scenarios_golden.cpp.o"
+  "CMakeFiles/test_scenarios_golden.dir/test_scenarios_golden.cpp.o.d"
+  "test_scenarios_golden"
+  "test_scenarios_golden.pdb"
+  "test_scenarios_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenarios_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sdd.cpp" "tests/CMakeFiles/test_sdd.dir/test_sdd.cpp.o" "gcc" "tests/CMakeFiles/test_sdd.dir/test_sdd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sync/CMakeFiles/ssvsp_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/latency/CMakeFiles/ssvsp_latency.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/ssvsp_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdd/CMakeFiles/ssvsp_sdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/ssvsp_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/commit/CMakeFiles/ssvsp_commit.dir/DependInfo.cmake"
+  "/root/repo/build/src/async_consensus/CMakeFiles/ssvsp_async_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/ssvsp_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/ssvsp_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/ssvsp_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsm/CMakeFiles/ssvsp_rsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/ssvsp_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/emul/CMakeFiles/ssvsp_emul.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ssvsp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/rounds/CMakeFiles/ssvsp_rounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssvsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdd.dir/test_sdd.cpp.o"
+  "CMakeFiles/test_sdd.dir/test_sdd.cpp.o.d"
+  "test_sdd"
+  "test_sdd.pdb"
+  "test_sdd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

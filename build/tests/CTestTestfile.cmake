@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_fd[1]_include.cmake")
+include("/root/repo/build/tests/test_sync[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_rounds[1]_include.cmake")
+include("/root/repo/build/tests/test_consensus[1]_include.cmake")
+include("/root/repo/build/tests/test_nonuniform[1]_include.cmake")
+include("/root/repo/build/tests/test_broadcast[1]_include.cmake")
+include("/root/repo/build/tests/test_async_consensus[1]_include.cmake")
+include("/root/repo/build/tests/test_viz[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
+include("/root/repo/build/tests/test_edges[1]_include.cmake")
+include("/root/repo/build/tests/test_rsm[1]_include.cmake")
+include("/root/repo/build/tests/test_scenarios_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_mc[1]_include.cmake")
+include("/root/repo/build/tests/test_latency[1]_include.cmake")
+include("/root/repo/build/tests/test_sdd[1]_include.cmake")
+include("/root/repo/build/tests/test_commit[1]_include.cmake")
+include("/root/repo/build/tests/test_emul[1]_include.cmake")
