@@ -17,7 +17,7 @@
 namespace ssvsp {
 namespace {
 
-void lambdaTable() {
+void lambdaTable(int threads) {
   bench::printHeader(
       "E5 / Figure 4, Theorem 5.2 — Lambda(A1) = 1 vs Lambda >= 2 in RWS",
       "RS reaches uniform consensus one round sooner than RWS in "
@@ -45,13 +45,14 @@ void lambdaTable() {
     McCheckOptions mo;
     mo.enumeration.horizon = 3;
     mo.enumeration.maxCrashes = t;
+    mo.threads = threads;
     if (row.model == RoundModel::kRws) mo.enumeration.pendingLags = {1, 0};
     const auto mc = modelCheckConsensus(algorithmByName(row.algo).factory,
                                         RoundConfig{n, t}, row.model, mo);
 
-    // Lambda via the latency analyzer.
+    // Lambda via the latency analyzer, over the same sweep description.
     LatencyOptions lo;
-    lo.enumeration = mo.enumeration;
+    static_cast<ExploreSpec&>(lo) = mo;
     const auto p = measureLatency(algorithmByName(row.algo).factory,
                                   RoundConfig{n, t}, row.model, lo);
 
@@ -73,6 +74,7 @@ void lambdaTable() {
     mo.enumeration.horizon = 3;
     mo.enumeration.maxCrashes = 1;
     mo.enumeration.pendingLags = {1, 0};
+    mo.threads = threads;
     const auto mc = modelCheckConsensus(algorithmByName(algo).factory,
                                         RoundConfig{3, 1}, RoundModel::kRws,
                                         mo);
@@ -118,6 +120,7 @@ BENCHMARK(timeA1Run)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  ssvsp::lambdaTable();
+  const int threads = ssvsp::bench::parseThreads(&argc, argv);
+  ssvsp::lambdaTable(threads);
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

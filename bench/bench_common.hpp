@@ -8,13 +8,66 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "explore/spec.hpp"
 #include "util/table.hpp"
 #include "util/types.hpp"
 
 namespace ssvsp::bench {
+
+/// Extracts `--threads=N` (or `--threads N`) from argv, removing it so the
+/// remaining flags can go to google-benchmark untouched.  Returns N, or
+/// `fallback` when absent.  N = 0 means one worker per hardware thread
+/// (ExploreSpec convention); every experiment table is bit-identical for
+/// every value, so benches default to the full machine.
+inline int parseThreads(int* argc, char** argv, int fallback = 0) {
+  int threads = fallback;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < *argc) {
+      threads = std::atoi(argv[i + 1]);
+      ++i;
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  *argc = w;
+  return threads;
+}
+
+/// Wall-clock of one sweep invocation, in seconds.
+template <typename Fn>
+double wallSeconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+inline std::string fmtRunsPerSec(std::int64_t runs, double seconds) {
+  std::ostringstream os;
+  os.precision(3);
+  os << (seconds > 0 ? static_cast<double>(runs) / seconds / 1e3 : 0.0)
+     << "k";
+  return os.str();
+}
+
+inline std::string fmtSpeedup(double base, double current) {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << (current > 0 ? base / current : 0.0) << "x";
+  return os.str();
+}
 
 inline std::string fmtRound(Round r) {
   return r == kNoRound ? "inf" : std::to_string(r);

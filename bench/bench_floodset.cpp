@@ -18,22 +18,26 @@
 namespace ssvsp {
 namespace {
 
-void sweepTable() {
+void sweepTable(int threads) {
   bench::printHeader(
       "E1 / Figure 1 — FloodSet in RS",
       "solves uniform consensus; every process decides at round t+1");
 
   Table table({"n", "t", "mode", "runs", "violations", "worst |r|", "best |r|",
-               "claim t+1", "verdict"});
+               "runs/sec", "claim t+1", "verdict"});
 
   // Exhaustive sweeps for small systems.
   for (auto [n, t] : {std::pair<int, int>{3, 1}, {3, 2}, {4, 1}, {4, 2}}) {
     McCheckOptions o;
     o.enumeration.horizon = t + 2;
     o.enumeration.maxCrashes = t;
+    o.threads = threads;
     RoundConfig cfg{n, t};
-    const auto r = modelCheckConsensus(algorithmByName("FloodSet").factory,
-                                       cfg, RoundModel::kRs, o);
+    McReport r;
+    const double secs = bench::wallSeconds([&] {
+      r = modelCheckConsensus(algorithmByName("FloodSet").factory, cfg,
+                              RoundModel::kRs, o);
+    });
     Round worst = 0, best = kNoRound;
     for (const auto& [f, w] : r.worstLatencyByCrashes)
       worst = (w == kNoRound || worst == kNoRound) ? kNoRound
@@ -42,7 +46,8 @@ void sweepTable() {
       best = std::min(best, b);
     table.addRowValues(n, t, "exhaustive", r.runsExecuted,
                        r.violations.size(), bench::fmtRound(worst),
-                       bench::fmtRound(best), t + 1,
+                       bench::fmtRound(best),
+                       bench::fmtRunsPerSec(r.runsExecuted, secs), t + 1,
                        bench::verdict(r.ok() && worst == t + 1 &&
                                       best == t + 1));
   }
@@ -56,21 +61,24 @@ void sweepTable() {
     opt.horizon = t + 2;
     std::int64_t violations = 0, runs = 0;
     Round worst = 0, best = kNoRound;
-    for (int i = 0; i < 400; ++i) {
-      std::vector<Value> initial(static_cast<std::size_t>(n));
-      for (auto& v : initial) v = static_cast<Value>(rng.uniformInt(0, 7));
-      const auto run =
-          runRounds(cfg, RoundModel::kRs, algorithmByName("FloodSet").factory,
-                    initial, sampler.sample(rng), opt);
-      ++runs;
-      if (!checkUniformConsensus(run).ok()) ++violations;
-      const Round lr = run.latency();
-      worst = (lr == kNoRound || worst == kNoRound) ? kNoRound
-                                                    : std::max(worst, lr);
-      best = std::min(best, lr);
-    }
+    const double secs = bench::wallSeconds([&] {
+      for (int i = 0; i < 400; ++i) {
+        std::vector<Value> initial(static_cast<std::size_t>(n));
+        for (auto& v : initial) v = static_cast<Value>(rng.uniformInt(0, 7));
+        const auto run = runRounds(cfg, RoundModel::kRs,
+                                   algorithmByName("FloodSet").factory,
+                                   initial, sampler.sample(rng), opt);
+        ++runs;
+        if (!checkUniformConsensus(run).ok()) ++violations;
+        const Round lr = run.latency();
+        worst = (lr == kNoRound || worst == kNoRound) ? kNoRound
+                                                      : std::max(worst, lr);
+        best = std::min(best, lr);
+      }
+    });
     table.addRowValues(n, t, "sampled", runs, violations,
-                       bench::fmtRound(worst), bench::fmtRound(best), t + 1,
+                       bench::fmtRound(worst), bench::fmtRound(best),
+                       bench::fmtRunsPerSec(runs, secs), t + 1,
                        bench::verdict(violations == 0 && worst == t + 1));
   }
 
@@ -103,6 +111,7 @@ BENCHMARK(timeFloodSetRun)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  ssvsp::sweepTable();
+  const int threads = ssvsp::bench::parseThreads(&argc, argv);
+  ssvsp::sweepTable(threads);
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

@@ -4,10 +4,16 @@
 //
 // Regenerates: exhaustive RWS sweeps counting agreement violations for both
 // algorithms, including the full (n=3, t=2) pending space, plus the first
-// violating witness for FloodSet.
+// violating witness for FloodSet.  Also measures the parallel exploration
+// engine: the same (n=3, t=2, horizon 6) sweep across thread counts, with
+// runs/sec, speedup over one thread, and a bit-identical-report check.
+//
+// Pass --threads=N to set the worker count for the sweep tables
+// (default: one per hardware thread; results are identical either way).
 #include "bench_common.hpp"
 
 #include <iostream>
+#include <vector>
 
 #include "consensus/registry.hpp"
 #include "mc/checker.hpp"
@@ -15,23 +21,24 @@
 namespace ssvsp {
 namespace {
 
-McCheckOptions rwsOptions(int t, std::int64_t cap) {
+McCheckOptions rwsOptions(int t, std::int64_t cap, int threads) {
   McCheckOptions o;
   o.enumeration.horizon = t + 2;
   o.enumeration.maxCrashes = t;
   o.enumeration.pendingLags = {1, 0};
   o.enumeration.maxScripts = cap;
   o.maxViolations = 1000000000;  // count everything
+  o.threads = threads;
   return o;
 }
 
-void sweepTable() {
+void sweepTable(int threads) {
   bench::printHeader(
       "E2 / Figure 2 — FloodSetWS in RWS (ablation: the halt set)",
       "FloodSetWS solves uniform consensus in RWS; FloodSet does not");
 
   Table table({"algorithm", "n", "t", "scripts", "runs", "violations",
-               "claim", "verdict"});
+               "runs/sec", "claim", "verdict"});
   struct Row {
     const char* algo;
     int n, t;
@@ -47,13 +54,15 @@ void sweepTable() {
       {"FloodSetWS", 4, 1, 200000, false},
   };
   for (const Row& row : rows) {
-    const auto r =
-        modelCheckConsensus(algorithmByName(row.algo).factory,
-                            RoundConfig{row.n, row.t}, RoundModel::kRws,
-                            rwsOptions(row.t, row.cap));
+    McReport r;
+    const double secs = bench::wallSeconds([&] {
+      r = modelCheckConsensus(algorithmByName(row.algo).factory,
+                              RoundConfig{row.n, row.t}, RoundModel::kRws,
+                              rwsOptions(row.t, row.cap, threads));
+    });
     table.addRowValues(
         row.algo, row.n, row.t, r.scriptsVisited, r.runsExecuted,
-        r.violations.size(),
+        r.violations.size(), bench::fmtRunsPerSec(r.runsExecuted, secs),
         row.expectViolations ? "violations > 0" : "violations = 0",
         bench::verdict(row.expectViolations ? !r.violations.empty()
                                             : r.violations.empty()));
@@ -61,7 +70,7 @@ void sweepTable() {
   table.print(std::cout);
 
   // Print the first FloodSet witness so the failure mode is inspectable.
-  McCheckOptions o = rwsOptions(2, -1);
+  McCheckOptions o = rwsOptions(2, -1, threads);
   o.maxViolations = 1;
   const auto r = modelCheckConsensus(algorithmByName("FloodSet").factory,
                                      RoundConfig{3, 2}, RoundModel::kRws, o);
@@ -70,6 +79,61 @@ void sweepTable() {
               << "  " << r.violations.front().script.toString() << "\n"
               << r.violations.front().runDump;
   }
+}
+
+/// The parallel exploration engine on the deepest sweep of this experiment:
+/// FloodSetWS/RWS at n=3, t=2 with horizon 6.  Each row re-runs the same
+/// capped script space with a different worker count; reports must be
+/// bit-identical, and wall-clock should scale until the machine runs out of
+/// cores.
+void speedupTable() {
+  bench::printHeader(
+      "E2b — parallel exploration engine (FloodSetWS/RWS, n=3, t=2, "
+      "horizon 6)",
+      "identical McReport for every thread count; wall-clock scales with "
+      "cores");
+
+  McCheckOptions o;
+  o.enumeration.horizon = 6;
+  o.enumeration.maxCrashes = 2;
+  o.enumeration.pendingLags = {1, 0};
+  o.enumeration.maxScripts = 150000;
+  o.maxViolations = 1000000000;
+
+  // Always sweep a few worker counts, ending at the hardware concurrency:
+  // the "identical report" column demonstrates determinism even when the
+  // machine is too small for a speedup.
+  const int hw = resolveThreads(0);
+  std::vector<int> counts{1, 2};
+  if (hw > 2) counts.push_back(hw);
+
+  Table table({"threads", "scripts", "runs", "wall s", "runs/sec", "speedup",
+               "identical report"});
+  double baseSecs = 0;
+  std::string baseSummary;
+  for (const int threads : counts) {
+    o.threads = threads;
+    McReport r;
+    const double secs = bench::wallSeconds([&] {
+      r = modelCheckConsensus(algorithmByName("FloodSetWS").factory,
+                              RoundConfig{3, 2}, RoundModel::kRws, o);
+    });
+    if (threads == 1) {
+      baseSecs = secs;
+      baseSummary = r.summary();
+    }
+    std::ostringstream wall;
+    wall.precision(3);
+    wall << std::fixed << secs;
+    table.addRowValues(threads, r.scriptsVisited, r.runsExecuted, wall.str(),
+                       bench::fmtRunsPerSec(r.runsExecuted, secs),
+                       bench::fmtSpeedup(baseSecs, secs),
+                       bench::checkMark(r.summary() == baseSummary));
+  }
+  table.print(std::cout);
+  if (hw == 1)
+    std::cout << "(single hardware thread: speedup capped at 1x here; the "
+                 "sweep shards identically on bigger machines)\n";
 }
 
 void timeFloodSetWsRun(benchmark::State& state) {
@@ -96,6 +160,8 @@ BENCHMARK(timeFloodSetWsRun)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  ssvsp::sweepTable();
+  const int threads = ssvsp::bench::parseThreads(&argc, argv);
+  ssvsp::sweepTable(threads);
+  ssvsp::speedupTable();
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

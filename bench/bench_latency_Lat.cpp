@@ -18,7 +18,7 @@
 namespace ssvsp {
 namespace {
 
-void latMaxTable() {
+void latMaxTable(int threads) {
   bench::printHeader(
       "E4 / Figure 3, Theorem 5.1 — the Lat() latency degree",
       "Lat(F_OptFloodSet) = Lat(F_OptFloodSetWS) = 1 (via t initial "
@@ -42,6 +42,7 @@ void latMaxTable() {
     LatencyOptions o;
     o.enumeration.horizon = t + 2;
     o.enumeration.maxCrashes = t;
+    o.threads = threads;
     if (row.model == RoundModel::kRws) {
       o.enumeration.pendingLags = {1, 0};
       o.enumeration.maxScripts = 120000;
@@ -90,6 +91,7 @@ BENCHMARK(timeFOptRun)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  ssvsp::latMaxTable();
+  const int threads = ssvsp::bench::parseThreads(&argc, argv);
+  ssvsp::latMaxTable(threads);
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

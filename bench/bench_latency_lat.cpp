@@ -14,7 +14,7 @@
 namespace ssvsp {
 namespace {
 
-void latTable() {
+void latTable(int threads) {
   bench::printHeader("E3 / Section 5.2 — the lat() latency degree",
                      "lat(C_OptFloodSet) = lat(C_OptFloodSetWS) = 1; "
                      "lat(FloodSet) = lat(FloodSetWS) = t+1");
@@ -36,6 +36,7 @@ void latTable() {
     LatencyOptions o;
     o.enumeration.horizon = t + 2;
     o.enumeration.maxCrashes = t;
+    o.threads = threads;
     if (row.model == RoundModel::kRws) {
       o.enumeration.pendingLags = {1, 0};
       o.enumeration.maxScripts = 120000;
@@ -69,6 +70,7 @@ BENCHMARK(timeLatencyProfile);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  ssvsp::latTable();
+  const int threads = ssvsp::bench::parseThreads(&argc, argv);
+  ssvsp::latTable(threads);
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

@@ -16,7 +16,7 @@
 namespace ssvsp {
 namespace {
 
-void summaryTable(int n, int t, bool exhaustive) {
+void summaryTable(int n, int t, bool exhaustive, int threads) {
   std::cout << "\n-- n = " << n << ", t = " << t
             << (exhaustive ? " (exhaustive)" : " (sampled + designed corners)")
             << " --\n";
@@ -32,6 +32,7 @@ void summaryTable(int n, int t, bool exhaustive) {
     o.exhaustive = exhaustive;
     o.samples = 400;
     o.seed = 12345;
+    o.threads = threads;
     if (entry.intendedModel == RoundModel::kRws) {
       o.enumeration.pendingLags = {1, 0};
       o.enumeration.maxScripts = 80000;
@@ -51,16 +52,16 @@ void summaryTable(int n, int t, bool exhaustive) {
   table.print(std::cout);
 }
 
-void run() {
+void run(int threads) {
   bench::printHeader(
       "E6 / Section 5 — latency degrees of all algorithms",
       "lat(C_Opt*) = 1; Lat(F_Opt*) = 1; Lambda(A1) = 1 (RS, t=1) while "
       "every RWS algorithm has Lambda >= 2; plain FloodSet pins every "
       "measure at t+1");
-  summaryTable(4, 1, /*exhaustive=*/true);
-  summaryTable(4, 2, /*exhaustive=*/true);
-  summaryTable(5, 2, /*exhaustive=*/false);
-  summaryTable(7, 3, /*exhaustive=*/false);
+  summaryTable(4, 1, /*exhaustive=*/true, threads);
+  summaryTable(4, 2, /*exhaustive=*/true, threads);
+  summaryTable(5, 2, /*exhaustive=*/false, threads);
+  summaryTable(7, 3, /*exhaustive=*/false, threads);
 }
 
 void timeSummary(benchmark::State& state) {
@@ -79,6 +80,7 @@ BENCHMARK(timeSummary);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  ssvsp::run();
+  const int threads = ssvsp::bench::parseThreads(&argc, argv);
+  ssvsp::run(threads);
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

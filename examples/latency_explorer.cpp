@@ -5,10 +5,13 @@
 //   $ ./latency_explorer FloodSet 4 2             # exhaustive profile
 //   $ ./latency_explorer F_OptFloodSetWS 5 2 --sampled
 //   $ ./latency_explorer A1 3 1 --check           # + exhaustive spec check
+//   $ ./latency_explorer FloodSetWS 3 2 --threads 8
 //
 // Prints lat(A), Lat(A), Lambda(A) and Lat(A, f) for f = 0..t, in the
 // algorithm's intended model, and optionally runs the exhaustive model
 // checker to confirm (or refute — try A1WS_candidate) correctness.
+// --threads N fans the sweep out over N workers (0 or omitted = one per
+// hardware thread); the profile is bit-identical for every value.
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -21,7 +24,8 @@ namespace {
 
 int usage() {
   std::cout << "usage: latency_explorer <algorithm> <n> <t> "
-               "[--sampled] [--check]\n\nregistered algorithms:\n";
+               "[--sampled] [--check] [--threads N]\n\n"
+               "registered algorithms:\n";
   for (const auto& e : ssvsp::algorithmRegistry())
     std::cout << "  " << e.name << "  (" << e.paperRef << ", intended model "
               << ssvsp::toString(e.intendedModel)
@@ -39,19 +43,22 @@ int main(int argc, char** argv) {
   const int n = std::atoi(argv[2]);
   const int t = std::atoi(argv[3]);
   bool sampled = false, check = false;
+  int threads = 0;  // one worker per hardware thread
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sampled") == 0) sampled = true;
     if (std::strcmp(argv[i], "--check") == 0) check = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = std::atoi(argv[++i]);
+    else if (std::strncmp(argv[i], "--threads=", 10) == 0)
+      threads = std::atoi(argv[i] + 10);
   }
   if (n < 2 || n > kMaxProcs || t < 0 || t >= n) {
     std::cout << "need 2 <= n <= " << kMaxProcs << " and 0 <= t < n\n";
     return 2;
   }
 
-  const AlgorithmEntry* entry;
-  try {
-    entry = &algorithmByName(name);
-  } catch (const InvariantViolation&) {
+  const AlgorithmEntry* entry = findAlgorithm(name);
+  if (entry == nullptr) {
     std::cout << "unknown algorithm '" << name << "'\n\n";
     return usage();
   }
@@ -66,6 +73,7 @@ int main(int argc, char** argv) {
   o.enumeration.maxCrashes = t;
   o.exhaustive = !sampled;
   o.samples = 1000;
+  o.threads = threads;
   if (entry->intendedModel == RoundModel::kRws) {
     o.enumeration.pendingLags = {1, 0};
     o.enumeration.maxScripts = 200000;
@@ -74,14 +82,14 @@ int main(int argc, char** argv) {
   std::cout << entry->name << " (" << entry->paperRef << ") in "
             << toString(entry->intendedModel) << ", n = " << n
             << ", t = " << t << (sampled ? " [sampled]" : " [exhaustive]")
-            << "\n";
+            << ", " << resolveThreads(threads) << " worker thread(s)\n";
   const auto profile =
       measureLatency(entry->factory, cfg, entry->intendedModel, o);
   std::cout << "  " << profile.toString() << "\n";
 
   if (check) {
     McCheckOptions mo;
-    mo.enumeration = o.enumeration;
+    static_cast<ExploreSpec&>(mo) = o;  // same sweep description
     const auto report = modelCheckConsensus(entry->factory, cfg,
                                             entry->intendedModel, mo);
     std::cout << "  spec check: " << report.summary() << "\n";

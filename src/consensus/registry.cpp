@@ -34,11 +34,16 @@ const std::vector<AlgorithmEntry>& algorithmRegistry() {
   return kRegistry;
 }
 
-const AlgorithmEntry& algorithmByName(const std::string& name) {
+const AlgorithmEntry* findAlgorithm(const std::string& name) {
   for (const auto& e : algorithmRegistry())
-    if (e.name == name) return e;
-  SSVSP_CHECK_MSG(false, "unknown algorithm '" << name << "'");
-  __builtin_unreachable();
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+const AlgorithmEntry& algorithmByName(const std::string& name) {
+  const AlgorithmEntry* entry = findAlgorithm(name);
+  SSVSP_CHECK_MSG(entry != nullptr, "unknown algorithm '" << name << "'");
+  return *entry;
 }
 
 }  // namespace ssvsp

@@ -27,6 +27,11 @@ struct AlgorithmEntry {
 /// All registered algorithms, paper order.
 const std::vector<AlgorithmEntry>& algorithmRegistry();
 
+/// Lookup by name; returns nullptr for unknown names.  Prefer this in
+/// command-line parsing so an unknown --algo can print the registry instead
+/// of an InvariantViolation backtrace.
+const AlgorithmEntry* findAlgorithm(const std::string& name);
+
 /// Lookup by name; throws InvariantViolation for unknown names.
 const AlgorithmEntry& algorithmByName(const std::string& name);
 

@@ -1,0 +1,178 @@
+#include "explore/parallel_sweep.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+namespace {
+
+struct Chunk {
+  std::int64_t id = 0;
+  std::int64_t firstScript = 0;
+  std::vector<FailureScript> scripts;
+};
+
+/// Single-threaded reference path.  One shard absorbs the whole stream;
+/// saturation is still checked only at chunk boundaries so the cut lands on
+/// the same script index as the pooled path.
+SweepOutcome sweepInline(
+    const ScriptStream& stream, int chunkScripts,
+    const std::function<std::unique_ptr<SweepShard>()>& makeShard) {
+  SweepOutcome out;
+  out.merged = makeShard();
+  std::int64_t index = 0;
+  std::int64_t inChunk = 0;
+  bool cut = false;
+  stream([&](const FailureScript& script) {
+    out.merged->visit(script, index++);
+    out.scriptsMerged++;
+    if (++inChunk == chunkScripts) {
+      inChunk = 0;
+      if (out.merged->saturated()) {
+        cut = true;
+        return false;
+      }
+    }
+    return true;
+  });
+  (void)cut;
+  return out;
+}
+
+/// Shared state of the pooled path.  The producer (caller thread) feeds a
+/// bounded chunk queue; workers drain it and fold finished shards into the
+/// in-order merged prefix under `mu`.
+struct Pool {
+  std::mutex mu;
+  std::condition_variable canPush;  ///< producer waits: queue has room
+  std::condition_variable canPop;   ///< workers wait: queue has work / done
+  std::deque<Chunk> queue;
+  std::size_t queueCap = 0;
+  bool produced = false;  ///< producer exhausted the stream
+  bool cut = false;       ///< merged prefix saturated: discard later chunks
+
+  /// Finished shards waiting for their turn in the in-order merge,
+  /// keyed by chunk id.  Bounded by the number of in-flight chunks.
+  std::map<std::int64_t, std::pair<std::unique_ptr<SweepShard>, std::int64_t>>
+      ready;
+  std::int64_t frontier = 0;  ///< next chunk id to merge
+  std::unique_ptr<SweepShard> merged;
+  std::int64_t scriptsMerged = 0;
+
+  void workerLoop(const std::function<std::unique_ptr<SweepShard>()>& make) {
+    while (true) {
+      Chunk chunk;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        canPop.wait(lock,
+                    [&] { return !queue.empty() || produced || cut; });
+        if (cut) return;
+        if (queue.empty()) return;  // produced && drained
+        chunk = std::move(queue.front());
+        queue.pop_front();
+        canPush.notify_one();
+      }
+
+      auto shard = make();
+      std::int64_t index = chunk.firstScript;
+      for (const FailureScript& script : chunk.scripts)
+        shard->visit(script, index++);
+
+      std::lock_guard<std::mutex> lock(mu);
+      if (cut) return;
+      ready.emplace(chunk.id,
+                    std::make_pair(std::move(shard),
+                                   static_cast<std::int64_t>(
+                                       chunk.scripts.size())));
+      // Advance the in-order merge as far as finished chunks allow,
+      // checking saturation after each chunk exactly like the inline path.
+      while (true) {
+        auto it = ready.find(frontier);
+        if (it == ready.end()) break;
+        if (merged == nullptr)
+          merged = std::move(it->second.first);
+        else
+          merged->mergeFrom(*it->second.first);
+        scriptsMerged += it->second.second;
+        ready.erase(it);
+        ++frontier;
+        if (merged->saturated()) {
+          cut = true;
+          ready.clear();
+          queue.clear();
+          canPop.notify_all();
+          canPush.notify_all();
+          return;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+SweepOutcome parallelSweep(
+    const ScriptStream& stream, const ExploreSpec& spec,
+    const std::function<std::unique_ptr<SweepShard>()>& makeShard) {
+  SSVSP_CHECK(makeShard != nullptr);
+  const int threads = resolveThreads(spec.threads);
+  const int chunkScripts = spec.chunkScripts >= 1 ? spec.chunkScripts : 1;
+  if (threads <= 1) return sweepInline(stream, chunkScripts, makeShard);
+
+  Pool pool;
+  pool.queueCap = static_cast<std::size_t>(threads) * 4;
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers.emplace_back([&pool, &makeShard] { pool.workerLoop(makeShard); });
+
+  // Produce: cut the stream into chunks, pushing each to the bounded queue.
+  Chunk next;
+  std::int64_t nextId = 0;
+  std::int64_t nextFirst = 0;
+  auto flush = [&]() -> bool {  // false = stop producing
+    if (next.scripts.empty()) return true;
+    std::unique_lock<std::mutex> lock(pool.mu);
+    pool.canPush.wait(lock, [&] {
+      return pool.queue.size() < pool.queueCap || pool.cut;
+    });
+    if (pool.cut) return false;
+    next.id = nextId++;
+    next.firstScript = nextFirst;
+    nextFirst += static_cast<std::int64_t>(next.scripts.size());
+    pool.queue.push_back(std::move(next));
+    next = Chunk{};
+    pool.canPop.notify_one();
+    return true;
+  };
+  stream([&](const FailureScript& script) {
+    next.scripts.push_back(script);
+    if (static_cast<int>(next.scripts.size()) < chunkScripts) return true;
+    return flush();
+  });
+  flush();  // tail chunk (no-op after a saturation stop)
+
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    pool.produced = true;
+  }
+  pool.canPop.notify_all();
+  for (std::thread& w : workers) w.join();
+
+  SweepOutcome out;
+  out.merged = pool.merged ? std::move(pool.merged) : makeShard();
+  out.scriptsMerged = pool.scriptsMerged;
+  out.threadsUsed = threads;
+  return out;
+}
+
+}  // namespace ssvsp

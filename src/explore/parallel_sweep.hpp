@@ -1,0 +1,81 @@
+// Deterministic parallel sweep over an adversary-script stream.
+//
+// The engine shards a serially-enumerated script stream into fixed-size
+// chunks, fans the chunks out to a worker pool, runs each chunk into its own
+// shard accumulator, and merges completed shards strictly in chunk order.
+// Because (1) chunk boundaries depend only on `chunkScripts`, (2) each shard
+// sees its scripts in stream order, and (3) shards are reduced in chunk
+// order, the merged accumulator is BIT-IDENTICAL for every thread count —
+// workers only change *when* a chunk is processed, never *what* the reduce
+// sees.
+//
+// Early exit is deterministic too: `saturated()` is consulted only on the
+// merged in-order prefix, after each chunk joins it.  The sweep therefore
+// always cuts at the same chunk boundary; chunks that were speculatively
+// processed beyond the cut are discarded, not merged.  (The single-thread
+// path checks saturation at the same boundaries, so it cuts identically.)
+//
+// Shard accumulators must be pure functions of (their chunk of the stream,
+// the shared read-only context they capture); mergeFrom must behave like
+// "append the later range onto the earlier one".  visit() runs concurrently
+// on DISTINCT shards from multiple threads, so anything a shard touches that
+// is shared — the automaton factory above all — must be safe to use
+// concurrently (see the factory contract in rounds/round_automaton.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "explore/spec.hpp"
+#include "rounds/failure_script.hpp"
+
+namespace ssvsp {
+
+/// A per-chunk accumulator.  The engine creates one per chunk via the
+/// factory passed to parallelSweep, feeds it the chunk's scripts, and folds
+/// it into the in-order merged prefix.
+class SweepShard {
+ public:
+  virtual ~SweepShard() = default;
+
+  /// Absorbs one script.  `scriptIndex` is the script's position in the
+  /// canonical stream (the deterministic run key for reports).  Called from
+  /// worker threads, but always on a shard no other thread touches.
+  virtual void visit(const FailureScript& script, std::int64_t scriptIndex) = 0;
+
+  /// Folds `from` — which covers the index range immediately after this
+  /// shard's — into this shard.  Called with the merge lock held (never
+  /// concurrently).
+  virtual void mergeFrom(SweepShard& from) = 0;
+
+  /// True once the merged prefix already decides the sweep (e.g. the
+  /// violation cap is reached) and later chunks can be skipped.  Consulted
+  /// only on the merged in-order prefix, at chunk boundaries.
+  virtual bool saturated() const { return false; }
+};
+
+/// A serial producer of scripts: calls the callback for each script in
+/// canonical order; the callback returning false stops the stream.
+/// `forEachScript` curried with its options is the canonical instance.
+using ScriptStream =
+    std::function<void(const std::function<bool(const FailureScript&)>&)>;
+
+struct SweepOutcome {
+  /// The shards of chunks 0..k merged in order (k = the saturation cut, or
+  /// the last chunk).  Never null: an empty stream yields a fresh shard.
+  std::unique_ptr<SweepShard> merged;
+  /// Scripts absorbed into `merged` — i.e. visible in the result.  Equals
+  /// the stream length unless the sweep saturated.
+  std::int64_t scriptsMerged = 0;
+  int threadsUsed = 1;
+};
+
+/// Runs the sweep described by `spec` (threads, chunkScripts) over `stream`.
+/// The enumeration itself stays serial (it is cheap next to executing runs);
+/// chunk processing is what parallelizes.
+SweepOutcome parallelSweep(
+    const ScriptStream& stream, const ExploreSpec& spec,
+    const std::function<std::unique_ptr<SweepShard>()>& makeShard);
+
+}  // namespace ssvsp

@@ -1,0 +1,13 @@
+#include "explore/spec.hpp"
+
+#include <thread>
+
+namespace ssvsp {
+
+int resolveThreads(int threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,62 @@
+// ExploreSpec — the one description of an exploration sweep.
+//
+// Every exhaustive artifact in this library (the model checker, the latency
+// analyzers, the experiment tables) walks the same space: every legal
+// adversary script (per EnumOptions) crossed with every initial
+// configuration over a value domain.  ExploreSpec bundles that description
+// once — script space, value domain, engine slack, worker count, sharding
+// grain, sampling seed — so the sweep is parameterized (and parallelized)
+// in one place instead of per caller.
+//
+// McCheckOptions (src/mc/checker.hpp) and LatencyOptions
+// (src/latency/latency.hpp) are thin extensions of ExploreSpec: they add
+// only their analyzer-specific knobs.  Code that used to set the
+// copy-pasted `enumeration` / `valueDomain` / `horizonSlack` fields on
+// those structs keeps compiling unchanged — the fields now live here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ssvsp {
+
+/// Options for the exhaustive script enumerator (src/mc/enumerator.hpp).
+struct EnumOptions {
+  int horizon = 3;
+  int maxCrashes = 1;
+  /// RWS pending arrival menu: for a message sent in round r, lag k > 0
+  /// means "surfaces in round r + k", lag 0 means "never surfaces within the
+  /// horizon".  Empty menu (or RS) disables pendings.  Every message of a
+  /// dying sender independently picks "not pending" or one of these lags.
+  std::vector<int> pendingLags;
+  /// Stop after this many scripts (-1 = unlimited).
+  std::int64_t maxScripts = -1;
+};
+
+/// The shared sweep description consumed by modelCheckConsensus and
+/// measureLatency (and anything else that walks script x config spaces).
+struct ExploreSpec {
+  EnumOptions enumeration;  ///< script space (exhaustive mode)
+  int valueDomain = 2;      ///< initial configs drawn from [0, valueDomain)
+  /// Extra engine rounds past the enumeration horizon, so that decisions
+  /// scheduled at t+1 still happen when crashes land late.
+  int horizonSlack = 2;
+  /// Worker threads for the parallel sweep engine; 0 = one per hardware
+  /// thread, 1 = inline (no worker pool).  Results are bit-identical for
+  /// every value — see src/explore/parallel_sweep.hpp.
+  int threads = 1;
+  /// Scripts per work chunk (the sharding grain).  Affects scheduling and
+  /// the granularity of deterministic early exit, never the result of a
+  /// sweep that does not saturate; saturating sweeps cut at a chunk
+  /// boundary, so the cut depends on this grain but not on `threads`.
+  int chunkScripts = 64;
+  /// Seed for sampling mode (analyzers that draw scripts instead of
+  /// enumerating them).
+  std::uint64_t seed = 1;
+};
+
+/// Number of workers `threads` asks for: itself if positive, else the
+/// hardware concurrency (minimum 1).
+int resolveThreads(int threads);
+
+}  // namespace ssvsp

@@ -1,9 +1,12 @@
 #include "latency/latency.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
+#include <utility>
 #include <vector>
 
+#include "explore/parallel_sweep.hpp"
 #include "rounds/adversary.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -23,85 +26,156 @@ std::string LatencyProfile::toString() const {
   return os.str();
 }
 
+namespace {
+
+/// Read-only context shared by every shard of one profile.  The factory
+/// must be callable concurrently (see rounds/round_automaton.hpp).
+struct LatContext {
+  const RoundAutomatonFactory& factory;
+  const RoundConfig& cfg;
+  RoundModel model;
+  std::vector<std::vector<Value>> configs;
+  RoundEngineOptions engineOpt;
+};
+
+/// One shard of the latency sweep.  All aggregates are per-config minima
+/// and per-crash-count maxima (with kNoRound = infinity), so merging two
+/// shards is the same elementwise min/max regardless of how the stream was
+/// split — the profile is thread-count-invariant.
+class LatShard : public SweepShard {
+ public:
+  explicit LatShard(const LatContext& ctx)
+      : ctx_(ctx), minPerConfig_(ctx.configs.size(), kNoRound) {}
+
+  void visit(const FailureScript& script, std::int64_t /*scriptIndex*/)
+      override {
+    const int crashes = script.numCrashes();
+    for (std::size_t ci = 0; ci < ctx_.configs.size(); ++ci) {
+      const RoundRunResult run = runRounds(ctx_.cfg, ctx_.model, ctx_.factory,
+                                           ctx_.configs[ci], script,
+                                           ctx_.engineOpt);
+      ++runsExecuted_;
+      const Round lr = run.latency();
+
+      Round& cmin = minPerConfig_[ci];
+      if (lr != kNoRound && (cmin == kNoRound || lr < cmin)) cmin = lr;
+
+      auto [it, inserted] = worstByExactCrashes_.try_emplace(crashes, lr);
+      if (!inserted) {
+        if (lr == kNoRound || it->second == kNoRound)
+          it->second = kNoRound;
+        else
+          it->second = std::max(it->second, lr);
+      }
+    }
+  }
+
+  void mergeFrom(SweepShard& from) override {
+    LatShard& other = static_cast<LatShard&>(from);
+    runsExecuted_ += other.runsExecuted_;
+    for (std::size_t ci = 0; ci < minPerConfig_.size(); ++ci) {
+      const Round omin = other.minPerConfig_[ci];
+      Round& cmin = minPerConfig_[ci];
+      if (omin != kNoRound && (cmin == kNoRound || omin < cmin)) cmin = omin;
+    }
+    for (const auto& [crashes, lr] : other.worstByExactCrashes_) {
+      auto [it, inserted] = worstByExactCrashes_.try_emplace(crashes, lr);
+      if (!inserted) {
+        if (lr == kNoRound || it->second == kNoRound)
+          it->second = kNoRound;
+        else
+          it->second = std::max(it->second, lr);
+      }
+    }
+  }
+
+  /// Folds the accumulated minima/maxima into the profile's degrees.
+  LatencyProfile finish() {
+    LatencyProfile profile;
+    profile.runsExecuted = runsExecuted_;
+
+    // lat(A) = min over configs of lat(A, C);  Lat(A) = max over configs.
+    profile.latMax = 0;
+    for (Round cmin : minPerConfig_) {
+      if (cmin != kNoRound && (profile.lat == kNoRound || cmin < profile.lat))
+        profile.lat = cmin;
+      if (cmin == kNoRound)
+        profile.latMax = kNoRound;  // some config never yields a deciding run
+      else if (profile.latMax != kNoRound)
+        profile.latMax = std::max(profile.latMax, cmin);
+    }
+
+    // Lat(A, f) = max over exact-crash buckets 0..f (monotone accumulation).
+    Round running = 0;
+    for (const auto& [crashes, worst] : worstByExactCrashes_) {
+      if (worst == kNoRound || running == kNoRound)
+        running = kNoRound;
+      else
+        running = std::max(running, worst);
+      profile.latByMaxCrashes[crashes] = running;
+    }
+    const auto zero = profile.latByMaxCrashes.find(0);
+    profile.lambda = zero != profile.latByMaxCrashes.end() ? zero->second
+                                                           : kNoRound;
+    return profile;
+  }
+
+ private:
+  const LatContext& ctx_;
+  std::int64_t runsExecuted_ = 0;
+  /// lat(A, C) per configuration index; latencies here are "min over runs",
+  /// so start at kNoRound (no run seen yet).
+  std::vector<Round> minPerConfig_;
+  /// Worst |r| over runs with exactly k crashes.
+  std::map<int, Round> worstByExactCrashes_;
+};
+
+}  // namespace
+
 LatencyProfile measureLatency(const RoundAutomatonFactory& factory,
                               const RoundConfig& cfg, RoundModel model,
                               const LatencyOptions& options) {
-  const auto configs = allInitialConfigs(cfg.n, options.valueDomain);
+  LatContext ctx{factory, cfg, model,
+                 allInitialConfigs(cfg.n, options.valueDomain),
+                 RoundEngineOptions{}};
+  ctx.engineOpt.horizon = options.enumeration.horizon + options.horizonSlack;
+  ctx.engineOpt.stopWhenAllDecided = true;
 
-  RoundEngineOptions engineOpt;
-  engineOpt.horizon = options.enumeration.horizon + options.horizonSlack;
-  engineOpt.stopWhenAllDecided = true;
-
-  LatencyProfile profile;
-  // lat(A, C) per configuration index; latencies here are "min over runs",
-  // so start at kNoRound (no run seen yet).
-  std::vector<Round> minPerConfig(configs.size(), kNoRound);
-  // Worst |r| over runs with exactly k crashes.
-  std::map<int, Round> worstByExactCrashes;
-
-  auto absorbRun = [&](std::size_t configIdx, const FailureScript& script) {
-    const RoundRunResult run =
-        runRounds(cfg, model, factory, configs[configIdx], script, engineOpt);
-    ++profile.runsExecuted;
-    const Round lr = run.latency();
-
-    Round& cmin = minPerConfig[configIdx];
-    if (lr != kNoRound && (cmin == kNoRound || lr < cmin)) cmin = lr;
-
-    const int crashes = script.numCrashes();
-    auto [it, inserted] = worstByExactCrashes.try_emplace(crashes, lr);
-    if (!inserted) {
-      if (lr == kNoRound || it->second == kNoRound)
-        it->second = kNoRound;
-      else
-        it->second = std::max(it->second, lr);
-    }
-  };
-
+  ScriptStream stream;
   if (options.exhaustive) {
-    forEachScript(cfg, model, options.enumeration,
-                  [&](const FailureScript& script) {
-                    for (std::size_t ci = 0; ci < configs.size(); ++ci)
-                      absorbRun(ci, script);
-                    return true;
-                  });
+    stream = [&](const std::function<bool(const FailureScript&)>& fn) {
+      forEachScript(cfg, model, options.enumeration, fn);
+    };
   } else {
+    // Sampling mode: the script list is drawn up front (serially, from the
+    // spec's seed) and then swept like any other stream, so the profile is
+    // a function of (seed, samples) alone — not of the thread count.
     Rng rng(options.seed);
     ScriptSampler sampler(cfg, model, options.enumeration.horizon);
     // Always include the designed corner cases the paper's arguments use.
-    std::vector<FailureScript> scripts{noFailures()};
-    for (int k = 1; k <= cfg.t; ++k) scripts.push_back(initialCrashes(cfg.n, k));
+    auto scripts = std::make_shared<std::vector<FailureScript>>();
+    scripts->push_back(noFailures());
+    for (int k = 1; k <= cfg.t; ++k)
+      scripts->push_back(initialCrashes(cfg.n, k));
     for (int i = 0; i < options.samples; ++i)
-      scripts.push_back(sampler.sample(rng));
-    for (const auto& script : scripts)
-      for (std::size_t ci = 0; ci < configs.size(); ++ci)
-        absorbRun(ci, script);
+      scripts->push_back(sampler.sample(rng));
+    stream = [scripts](const std::function<bool(const FailureScript&)>& fn) {
+      for (const FailureScript& script : *scripts)
+        if (!fn(script)) return;
+    };
   }
 
-  // lat(A) = min over configs of lat(A, C);  Lat(A) = max over configs.
-  profile.latMax = 0;
-  for (Round cmin : minPerConfig) {
-    if (cmin != kNoRound && (profile.lat == kNoRound || cmin < profile.lat))
-      profile.lat = cmin;
-    if (cmin == kNoRound)
-      profile.latMax = kNoRound;  // some config never yields a deciding run
-    else if (profile.latMax != kNoRound)
-      profile.latMax = std::max(profile.latMax, cmin);
-  }
+  SweepOutcome outcome = parallelSweep(
+      stream, options, [&] { return std::make_unique<LatShard>(ctx); });
+  return static_cast<LatShard&>(*outcome.merged).finish();
+}
 
-  // Lat(A, f) = max over exact-crash buckets 0..f (monotone accumulation).
-  Round running = 0;
-  for (const auto& [crashes, worst] : worstByExactCrashes) {
-    if (worst == kNoRound || running == kNoRound)
-      running = kNoRound;
-    else
-      running = std::max(running, worst);
-    profile.latByMaxCrashes[crashes] = running;
-  }
-  const auto zero = profile.latByMaxCrashes.find(0);
-  profile.lambda = zero != profile.latByMaxCrashes.end() ? zero->second
-                                                         : kNoRound;
-  return profile;
+LatencyProfile measureLatency(const RoundAutomatonFactory& factory,
+                              const RoundConfig& cfg, RoundModel model,
+                              const ExploreSpec& spec) {
+  LatencyOptions options;
+  static_cast<ExploreSpec&>(options) = spec;
+  return measureLatency(factory, cfg, model, options);
 }
 
 }  // namespace ssvsp

@@ -15,26 +15,31 @@
 // value domain, or by seeded sampling for larger systems.  Exhaustive mode
 // decides the paper's equalities (e.g. Lat(F_OptFloodSet) = 1) exactly for
 // the checked parameters.
+//
+// Both modes run on the parallel exploration engine
+// (src/explore/parallel_sweep.hpp); profiles are bit-identical for every
+// ExploreSpec::threads value because per-shard min/max accumulators reduce
+// commutatively in stream order.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
 
+#include "explore/spec.hpp"
 #include "mc/enumerator.hpp"
 #include "rounds/engine.hpp"
 
 namespace ssvsp {
 
-struct LatencyOptions {
-  EnumOptions enumeration;  ///< script space (exhaustive mode)
-  int valueDomain = 2;
+/// ExploreSpec plus the analyzer's sampling knobs.  The sweep fields
+/// (`enumeration`, `valueDomain`, `horizonSlack`, `seed`, `threads`, ...)
+/// are the inherited ExploreSpec members; pre-ExploreSpec code that
+/// assigned them directly keeps compiling unchanged.
+struct LatencyOptions : ExploreSpec {
   bool exhaustive = true;
-  /// Sampling mode: number of scripts drawn and the seed.
+  /// Sampling mode: number of scripts drawn (seeded by ExploreSpec::seed).
   int samples = 2000;
-  std::uint64_t seed = 1;
-  /// Extra engine rounds past the horizon so late decisions still happen.
-  int horizonSlack = 2;
 };
 
 struct LatencyProfile {
@@ -52,5 +57,10 @@ struct LatencyProfile {
 LatencyProfile measureLatency(const RoundAutomatonFactory& factory,
                               const RoundConfig& cfg, RoundModel model,
                               const LatencyOptions& options);
+
+/// Convenience overload: exhaustive profile for a plain sweep description.
+LatencyProfile measureLatency(const RoundAutomatonFactory& factory,
+                              const RoundConfig& cfg, RoundModel model,
+                              const ExploreSpec& spec);
 
 }  // namespace ssvsp

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
+#include "explore/parallel_sweep.hpp"
 #include "util/check.hpp"
 
 namespace ssvsp {
@@ -31,56 +33,131 @@ std::string McReport::summary() const {
   return os.str();
 }
 
+namespace {
+
+/// Read-only context shared by every shard of one check.  The factory must
+/// be callable concurrently (see rounds/round_automaton.hpp).
+struct McContext {
+  const RoundAutomatonFactory& factory;
+  const RoundConfig& cfg;
+  RoundModel model;
+  const McCheckOptions& options;
+  std::vector<std::vector<Value>> configs;
+  RoundEngineOptions engineOpt;
+};
+
+/// One shard of the model-checking sweep: an McReport restricted to a
+/// contiguous range of the script stream.  mergeFrom appends the later
+/// range, so violations stay sorted by the canonical run key and the
+/// latency maps reduce commutatively (min/max with kNoRound = infinity).
+class McShard : public SweepShard {
+ public:
+  explicit McShard(const McContext& ctx) : ctx_(ctx) {}
+
+  void visit(const FailureScript& script, std::int64_t scriptIndex) override {
+    const int crashes = script.numCrashes();
+    for (std::size_t ci = 0; ci < ctx_.configs.size(); ++ci) {
+      const RoundRunResult run =
+          runRounds(ctx_.cfg, ctx_.model, ctx_.factory, ctx_.configs[ci],
+                    script, ctx_.engineOpt);
+      ++report_.runsExecuted;
+
+      const UcVerdict verdict = checkUniformConsensus(run);
+      if (!verdict.ok() && static_cast<int>(report_.violations.size()) <
+                               ctx_.options.maxViolations) {
+        report_.violations.push_back({scriptIndex, static_cast<int>(ci),
+                                      ctx_.configs[ci], script, verdict,
+                                      run.toString()});
+      }
+
+      const Round lat = run.latency();
+      auto [wit, winserted] =
+          report_.worstLatencyByCrashes.try_emplace(crashes, lat);
+      if (!winserted) {
+        if (lat == kNoRound || wit->second == kNoRound)
+          wit->second = kNoRound;
+        else
+          wit->second = std::max(wit->second, lat);
+      }
+      if (lat != kNoRound) {
+        auto [bit, binserted] =
+            report_.bestLatencyByCrashes.try_emplace(crashes, lat);
+        if (!binserted) bit->second = std::min(bit->second, lat);
+      }
+    }
+    ++report_.scriptsVisited;
+  }
+
+  void mergeFrom(SweepShard& from) override {
+    McReport& other = static_cast<McShard&>(from).report_;
+    report_.scriptsVisited += other.scriptsVisited;
+    report_.runsExecuted += other.runsExecuted;
+    for (McViolation& v : other.violations) {
+      if (static_cast<int>(report_.violations.size()) >=
+          ctx_.options.maxViolations)
+        break;
+      report_.violations.push_back(std::move(v));
+    }
+    for (const auto& [crashes, lat] : other.worstLatencyByCrashes) {
+      auto [it, inserted] =
+          report_.worstLatencyByCrashes.try_emplace(crashes, lat);
+      if (!inserted) {
+        if (lat == kNoRound || it->second == kNoRound)
+          it->second = kNoRound;
+        else
+          it->second = std::max(it->second, lat);
+      }
+    }
+    for (const auto& [crashes, lat] : other.bestLatencyByCrashes) {
+      auto [it, inserted] =
+          report_.bestLatencyByCrashes.try_emplace(crashes, lat);
+      if (!inserted) it->second = std::min(it->second, lat);
+    }
+  }
+
+  bool saturated() const override {
+    return static_cast<int>(report_.violations.size()) >=
+           ctx_.options.maxViolations;
+  }
+
+  McReport takeReport() { return std::move(report_); }
+
+ private:
+  const McContext& ctx_;
+  McReport report_;
+};
+
+}  // namespace
+
 McReport modelCheckConsensus(const RoundAutomatonFactory& factory,
                              const RoundConfig& cfg, RoundModel model,
                              const McCheckOptions& options) {
-  McReport report;
-  const auto configs = allInitialConfigs(cfg.n, options.valueDomain);
-
-  RoundEngineOptions engineOpt;
-  engineOpt.horizon = options.enumeration.horizon + options.horizonSlack;
+  McContext ctx{factory, cfg, model, options,
+                allInitialConfigs(cfg.n, options.valueDomain),
+                RoundEngineOptions{}};
+  ctx.engineOpt.horizon = options.enumeration.horizon + options.horizonSlack;
   // Decisions are final; stopping once every alive process decided is safe
   // and makes exhaustive sweeps ~2x faster.
-  engineOpt.stopWhenAllDecided = true;
+  ctx.engineOpt.stopWhenAllDecided = true;
 
-  report.scriptsVisited = forEachScript(
-      cfg, model, options.enumeration, [&](const FailureScript& script) {
-        const int crashes = script.numCrashes();
-        for (const auto& initial : configs) {
-          const RoundRunResult run =
-              runRounds(cfg, model, factory, initial, script, engineOpt);
-          ++report.runsExecuted;
+  const ScriptStream stream =
+      [&](const std::function<bool(const FailureScript&)>& fn) {
+        forEachScript(cfg, model, options.enumeration, fn);
+      };
+  SweepOutcome outcome = parallelSweep(
+      stream, options, [&] { return std::make_unique<McShard>(ctx); });
 
-          const UcVerdict verdict = checkUniformConsensus(run);
-          if (!verdict.ok() &&
-              static_cast<int>(report.violations.size()) <
-                  options.maxViolations) {
-            report.violations.push_back(
-                {initial, script, verdict, run.toString()});
-          }
-
-          const Round lat = run.latency();
-          if (static_cast<int>(report.violations.size()) >=
-              options.maxViolations)
-            return false;  // stop enumerating: the verdict is already clear
-
-          auto [wit, winserted] =
-              report.worstLatencyByCrashes.try_emplace(crashes, lat);
-          if (!winserted) {
-            if (lat == kNoRound || wit->second == kNoRound)
-              wit->second = kNoRound;
-            else
-              wit->second = std::max(wit->second, lat);
-          }
-          if (lat != kNoRound) {
-            auto [bit, binserted] =
-                report.bestLatencyByCrashes.try_emplace(crashes, lat);
-            if (!binserted) bit->second = std::min(bit->second, lat);
-          }
-        }
-        return true;
-      });
+  McReport report = static_cast<McShard&>(*outcome.merged).takeReport();
+  SSVSP_CHECK(report.scriptsVisited == outcome.scriptsMerged);
   return report;
+}
+
+McReport modelCheckConsensus(const RoundAutomatonFactory& factory,
+                             const RoundConfig& cfg, RoundModel model,
+                             const ExploreSpec& spec) {
+  McCheckOptions options;
+  static_cast<ExploreSpec&>(options) = spec;
+  return modelCheckConsensus(factory, cfg, model, options);
 }
 
 }  // namespace ssvsp

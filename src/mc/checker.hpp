@@ -1,20 +1,28 @@
 // Exhaustive model checking of uniform-consensus algorithms.
 //
 // modelCheckConsensus runs an algorithm against EVERY legal adversary script
-// (per EnumOptions) crossed with every initial configuration over a value
-// domain, verifies the uniform consensus specification on each run, and
-// aggregates latency statistics.  For small systems this decides the
-// paper's claims outright:
+// (per the ExploreSpec's EnumOptions) crossed with every initial
+// configuration over a value domain, verifies the uniform consensus
+// specification on each run, and aggregates latency statistics.  For small
+// systems this decides the paper's claims outright:
 //   * FloodSet is correct in RS, and incorrect in RWS (violations found);
 //   * FloodSetWS and F_OptFloodSetWS are correct in RWS (no violations);
 //   * A1 is correct in RS for t = 1 and has Lambda = 1;
 //   * no run of the RWS algorithms decides all correct processes in round 1
 //     of failure-free runs (the Lambda >= 2 separation of Section 5.3).
+//
+// The sweep is executed by the parallel exploration engine
+// (src/explore/parallel_sweep.hpp): set ExploreSpec::threads to use a
+// worker pool.  Reports are bit-identical for every thread count —
+// violations are collected in canonical run order (script index, then
+// configuration index) and per-shard statistics are reduced in stream
+// order.
 #pragma once
 
 #include <map>
 #include <string>
 
+#include "explore/spec.hpp"
 #include "mc/enumerator.hpp"
 #include "rounds/engine.hpp"
 #include "rounds/spec.hpp"
@@ -22,6 +30,12 @@
 namespace ssvsp {
 
 struct McViolation {
+  /// Canonical run key: position of the script in the enumeration stream
+  /// and of the initial configuration in allInitialConfigs order.  The
+  /// violation list is sorted by (scriptIndex, configIndex) regardless of
+  /// how many threads explored the space.
+  std::int64_t scriptIndex = 0;
+  int configIndex = 0;
   std::vector<Value> initial;
   FailureScript script;
   UcVerdict verdict;
@@ -47,17 +61,23 @@ struct McReport {
   std::string summary() const;
 };
 
-struct McCheckOptions {
-  EnumOptions enumeration;
-  int valueDomain = 2;
+/// ExploreSpec plus the checker's one extra knob.  The sweep fields
+/// (`enumeration`, `valueDomain`, `horizonSlack`, `threads`, ...) are the
+/// inherited ExploreSpec members; pre-ExploreSpec code that assigned them
+/// directly keeps compiling unchanged.
+struct McCheckOptions : ExploreSpec {
+  /// Stop exploring (at the next chunk boundary) once this many violations
+  /// are on record; the verdict is already clear.
   int maxViolations = 4;
-  /// Extra engine rounds past the enumeration horizon, so that decisions
-  /// scheduled at t+1 still happen when crashes land late.
-  int horizonSlack = 2;
 };
 
 McReport modelCheckConsensus(const RoundAutomatonFactory& factory,
                              const RoundConfig& cfg, RoundModel model,
                              const McCheckOptions& options);
+
+/// Convenience overload for callers that only have a sweep description.
+McReport modelCheckConsensus(const RoundAutomatonFactory& factory,
+                             const RoundConfig& cfg, RoundModel model,
+                             const ExploreSpec& spec);
 
 }  // namespace ssvsp

@@ -20,21 +20,10 @@
 #include <functional>
 #include <vector>
 
+#include "explore/spec.hpp"  // EnumOptions (shared with ExploreSpec)
 #include "rounds/failure_script.hpp"
 
 namespace ssvsp {
-
-struct EnumOptions {
-  int horizon = 3;
-  int maxCrashes = 1;
-  /// RWS pending arrival menu: for a message sent in round r, lag k > 0
-  /// means "surfaces in round r + k", lag 0 means "never surfaces within the
-  /// horizon".  Empty menu (or RS) disables pendings.  Every message of a
-  /// dying sender independently picks "not pending" or one of these lags.
-  std::vector<int> pendingLags;
-  /// Stop after this many scripts (-1 = unlimited).
-  std::int64_t maxScripts = -1;
-};
 
 /// Invokes fn on every legal script; fn returning false stops enumeration.
 /// Returns the number of scripts visited.

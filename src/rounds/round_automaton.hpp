@@ -52,6 +52,18 @@ class RoundAutomaton {
   virtual std::string describeState() const { return {}; }
 };
 
+/// Creates a fresh automaton for process `self`.
+///
+/// Concurrency contract: the parallel exploration engine
+/// (src/explore/parallel_sweep.hpp) invokes one factory from several worker
+/// threads at once, so a factory must be safe to call concurrently.  In
+/// practice: return a newly-allocated automaton on every call and keep any
+/// captured state immutable after construction (the registry factories are
+/// all stateless lambdas; `static const` locals are fine — C++ guarantees
+/// thread-safe initialization).  A factory that mutates captured state per
+/// call (e.g. a call counter or a shared Rng) is NOT legal to pass to
+/// modelCheckConsensus / measureLatency.  The returned automata themselves
+/// are never shared across threads.
 using RoundAutomatonFactory =
     std::function<std::unique_ptr<RoundAutomaton>(ProcessId)>;
 
