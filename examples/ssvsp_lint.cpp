@@ -1,0 +1,201 @@
+// ssvsp_lint: static admissibility analyzer for scenario files and sweep
+// specs — the preflight of src/lint as a command-line tool.
+//
+//   $ ./ssvsp_lint scenarios/*.txt                 # lint scenario files
+//   $ ./ssvsp_lint --spec "n=3 t=2 model=rws lags=1:0"   # lint a sweep spec
+//   $ ./ssvsp_lint --json --budget 1000000 ...     # JSON, custom L208 budget
+//
+// Exit status: 0 when no artifact produced an error diagnostic (warnings
+// and notes are reported but do not fail the lint), 1 when at least one
+// did, 2 on usage or I/O problems.  Diagnostic codes are documented in
+// DESIGN.md section 8.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+using namespace ssvsp;
+
+int usage() {
+  std::cerr
+      << "usage: ssvsp_lint [--json] [--budget N] [file.txt ...]\n"
+         "       ssvsp_lint [--json] [--budget N] --spec \"k=v ...\"\n"
+         "\n"
+         "Lints scenario files and/or one sweep spec; exits nonzero when\n"
+         "any error diagnostic is produced.\n"
+         "\n"
+         "--spec keys (space- or comma-separated k=v pairs):\n"
+         "  n, t            round config (required)\n"
+         "  model           rs | rws (default rs)\n"
+         "  horizon         enumeration horizon (default 3)\n"
+         "  maxCrashes      crash bound (default 1)\n"
+         "  lags            pending-lag menu, ':'-separated,\n"
+         "                  e.g. lags=1:0 (default empty)\n"
+         "  domain          value domain size (default 2)\n"
+         "  threads, chunk, maxScripts   sweep engine knobs\n"
+         "--budget N        script-space size that triggers L208\n"
+         "--json            machine-readable output\n";
+  return 2;
+}
+
+/// Splits "k=v k=v" / "k=v,k=v" into pairs; false on a malformed token.
+/// The lag menu uses ':' between entries (lags=1:0) so ',' can separate
+/// pairs.
+bool parseSpecDescription(const std::string& text, RoundConfig* cfg,
+                          RoundModel* model, ExploreSpec* spec,
+                          std::string* problem) {
+  std::string norm = text;
+  for (char& c : norm)
+    if (c == ',') c = ' ';
+  std::istringstream in(norm);
+  std::string tok;
+  bool haveN = false, haveT = false;
+  while (in >> tok) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *problem = "expected key=value, got '" + tok + "'";
+      return false;
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    try {
+      if (key == "n") {
+        cfg->n = std::stoi(value);
+        haveN = true;
+      } else if (key == "t") {
+        cfg->t = std::stoi(value);
+        haveT = true;
+      } else if (key == "model") {
+        if (value == "rs" || value == "RS") {
+          *model = RoundModel::kRs;
+        } else if (value == "rws" || value == "RWS") {
+          *model = RoundModel::kRws;
+        } else {
+          *problem = "unknown model '" + value + "' (want rs or rws)";
+          return false;
+        }
+      } else if (key == "horizon") {
+        spec->enumeration.horizon = std::stoi(value);
+      } else if (key == "maxCrashes") {
+        spec->enumeration.maxCrashes = std::stoi(value);
+      } else if (key == "lags") {
+        spec->enumeration.pendingLags.clear();
+        std::istringstream lags(value);
+        std::string lag;
+        while (std::getline(lags, lag, ':'))
+          spec->enumeration.pendingLags.push_back(std::stoi(lag));
+      } else if (key == "maxScripts") {
+        spec->enumeration.maxScripts = std::stoll(value);
+      } else if (key == "domain") {
+        spec->valueDomain = std::stoi(value);
+      } else if (key == "threads") {
+        spec->threads = std::stoi(value);
+      } else if (key == "chunk") {
+        spec->chunkScripts = std::stoi(value);
+      } else {
+        *problem = "unknown spec key '" + key + "'";
+        return false;
+      }
+    } catch (const std::exception&) {
+      *problem = "bad value for '" + key + "': '" + value + "'";
+      return false;
+    }
+  }
+  if (!haveN || !haveT) {
+    *problem = "a spec needs both n= and t=";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  SweepLintOptions lintOpt;
+  std::string specText;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--budget") == 0) {
+      if (++i >= argc) return usage();
+      try {
+        lintOpt.scriptBudget = std::stoll(argv[i]);
+      } catch (const std::exception&) {
+        return usage();
+      }
+    } else if (std::strcmp(argv[i], "--spec") == 0) {
+      if (++i >= argc) return usage();
+      specText = argv[i];
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      return usage();
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (specText.empty() && files.empty()) return usage();
+
+  int errors = 0;
+  bool firstJson = true;
+  if (json) std::cout << "[";
+  auto emit = [&](const std::string& artifact, const DiagnosticSink& sink) {
+    errors += sink.errorCount();
+    if (json) {
+      if (!firstJson) std::cout << ",";
+      firstJson = false;
+      std::cout << renderJson(sink.diagnostics(), artifact);
+      return;
+    }
+    std::cout << renderText(sink.diagnostics(), artifact);
+    if (sink.empty()) std::cout << artifact << ": ok\n";
+  };
+
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      if (json) std::cout << "]";
+      std::cerr << "cannot open " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    DiagnosticSink sink;
+    lintScenarioText(buf.str(), sink);
+    emit(file, sink);
+  }
+
+  if (!specText.empty()) {
+    RoundConfig cfg;
+    RoundModel model = RoundModel::kRs;
+    ExploreSpec spec;
+    std::string problem;
+    if (!parseSpecDescription(specText, &cfg, &model, &spec, &problem)) {
+      if (json) std::cout << "]";
+      std::cerr << "bad --spec: " << problem << "\n";
+      return 2;
+    }
+    DiagnosticSink sink;
+    lintExploreSpec(spec, cfg, model, sink, lintOpt);
+    emit("--spec", sink);
+    if (!json && !sink.hasErrors()) {
+      const std::int64_t estimate =
+          estimateScriptSpace(cfg, model, spec.enumeration);
+      std::cout << "--spec: script space <= "
+                << (estimate == kScriptSpaceSaturated
+                        ? std::string("2^63")
+                        : std::to_string(estimate))
+                << " scripts\n";
+    }
+  }
+
+  if (json) std::cout << "]\n";
+  return errors > 0 ? 1 : 0;
+}

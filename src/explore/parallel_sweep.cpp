@@ -30,20 +30,15 @@ SweepOutcome sweepInline(
   out.merged = makeShard();
   std::int64_t index = 0;
   std::int64_t inChunk = 0;
-  bool cut = false;
   stream([&](const FailureScript& script) {
     out.merged->visit(script, index++);
     out.scriptsMerged++;
     if (++inChunk == chunkScripts) {
       inChunk = 0;
-      if (out.merged->saturated()) {
-        cut = true;
-        return false;
-      }
+      if (out.merged->saturated()) return false;  // deterministic cut
     }
     return true;
   });
-  (void)cut;
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "explore/parallel_sweep.hpp"
+#include "lint/lint.hpp"
 #include "rounds/adversary.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -135,6 +136,10 @@ class LatShard : public SweepShard {
 LatencyProfile measureLatency(const RoundAutomatonFactory& factory,
                               const RoundConfig& cfg, RoundModel model,
                               const LatencyOptions& options) {
+  // Same preflight contract as modelCheckConsensus: reject inadmissible
+  // specs with structured diagnostics before any worker spawns.
+  preflightSweep(cfg, model, options);
+
   LatContext ctx{factory, cfg, model,
                  allInitialConfigs(cfg.n, options.valueDomain),
                  RoundEngineOptions{}};

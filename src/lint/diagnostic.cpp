@@ -1,0 +1,143 @@
+#include "lint/diagnostic.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace ssvsp {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string jsonEscape(const std::string& s) {
+  std::ostringstream os;
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string toString(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "error";
+}
+
+std::string SourceLocation::toString() const {
+  if (!valid()) return {};
+  std::ostringstream os;
+  os << "line " << line;
+  if (column > 0) os << ", col " << column;
+  return os.str();
+}
+
+std::string toString(const Diagnostic& d, const std::string& artifact) {
+  std::ostringstream os;
+  if (!artifact.empty()) os << artifact << ":";
+  if (d.location.valid()) {
+    os << d.location.line << ":";
+    if (d.location.column > 0) os << d.location.column << ":";
+  }
+  if (os.tellp() > 0) os << " ";
+  os << toString(d.severity) << " " << d.code << ": " << d.message;
+  if (!d.hint.empty()) os << " [hint: " << d.hint << "]";
+  return os.str();
+}
+
+void DiagnosticSink::add(Diagnostic d) {
+  if (d.severity == Severity::kError) ++errors_;
+  if (d.severity == Severity::kWarning) ++warnings_;
+  diagnostics_.push_back(std::move(d));
+}
+
+void DiagnosticSink::report(std::string code, Severity severity,
+                            std::string message, std::string hint,
+                            SourceLocation location) {
+  Diagnostic d;
+  d.code = std::move(code);
+  d.severity = severity;
+  d.location = location;
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  add(std::move(d));
+}
+
+std::string renderText(const std::vector<Diagnostic>& diagnostics,
+                       const std::string& artifact) {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics) os << toString(d, artifact) << "\n";
+  return os.str();
+}
+
+std::string renderJson(const std::vector<Diagnostic>& diagnostics,
+                       const std::string& artifact) {
+  int errors = 0, warnings = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) ++errors;
+    if (d.severity == Severity::kWarning) ++warnings;
+  }
+  std::ostringstream os;
+  os << "{\"artifact\":\"" << jsonEscape(artifact) << "\",\"errors\":"
+     << errors << ",\"warnings\":" << warnings << ",\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"code\":\"" << jsonEscape(d.code) << "\",\"severity\":\""
+       << toString(d.severity) << "\",\"line\":" << d.location.line
+       << ",\"column\":" << d.location.column << ",\"message\":\""
+       << jsonEscape(d.message) << "\",\"hint\":\"" << jsonEscape(d.hint)
+       << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+namespace {
+std::string preflightWhat(const std::vector<Diagnostic>& diagnostics) {
+  std::ostringstream os;
+  os << "sweep preflight failed:\n";
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == Severity::kError) os << "  " << toString(d) << "\n";
+  return os.str();
+}
+}  // namespace
+
+PreflightError::PreflightError(std::vector<Diagnostic> diagnostics)
+    : InvariantViolation(preflightWhat(diagnostics)),
+      diagnostics_(std::move(diagnostics)) {}
+
+}  // namespace ssvsp

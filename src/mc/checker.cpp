@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "explore/parallel_sweep.hpp"
+#include "lint/lint.hpp"
 #include "util/check.hpp"
 
 namespace ssvsp {
@@ -132,6 +133,10 @@ class McShard : public SweepShard {
 McReport modelCheckConsensus(const RoundAutomatonFactory& factory,
                              const RoundConfig& cfg, RoundModel model,
                              const McCheckOptions& options) {
+  // Fail fast on inadmissible specs: a structured PreflightError here beats
+  // an InvariantViolation thrown from the middle of a sweep.
+  preflightSweep(cfg, model, options);
+
   McContext ctx{factory, cfg, model, options,
                 allInitialConfigs(cfg.n, options.valueDomain),
                 RoundEngineOptions{}};

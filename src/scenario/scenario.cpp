@@ -1,31 +1,81 @@
 #include "scenario/scenario.hpp"
 
+#include <cctype>
 #include <sstream>
 
 #include "consensus/registry.hpp"
+#include "lint/codes.hpp"
 #include "util/check.hpp"
 
 namespace ssvsp {
 
 namespace {
 
+/// Hand-rolled tokenizer so every diagnostic can carry the 1-based column
+/// of the offending token (istream extraction discards positions).
+class LineScanner {
+ public:
+  void reset(const std::string& line) {
+    line_ = line;
+    pos_ = 0;
+  }
+
+  /// Next whitespace-delimited token and its column; false at end of line.
+  bool next(std::string* token, int* column) {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_])))
+      ++pos_;
+    if (pos_ >= line_.size()) return false;
+    const std::size_t start = pos_;
+    while (pos_ < line_.size() &&
+           !std::isspace(static_cast<unsigned char>(line_[pos_])))
+      ++pos_;
+    *token = line_.substr(start, pos_ - start);
+    *column = static_cast<int>(start) + 1;
+    return true;
+  }
+
+  /// Column just past the line's content (for "missing argument" reports).
+  int endColumn() const { return static_cast<int>(line_.size()) + 1; }
+
+ private:
+  std::string line_;
+  std::size_t pos_ = 0;
+};
+
 struct Parser {
   std::istringstream in;
   int lineNo = 0;
-  std::string error;
+  LineScanner scan;
+  std::vector<Diagnostic> diagnostics;
 
   explicit Parser(const std::string& text) : in(text) {}
 
-  bool fail(const std::string& what) {
-    std::ostringstream os;
-    os << "line " << lineNo << ": " << what;
-    if (error.empty()) error = os.str();
+  bool fail(std::string_view code, const std::string& what, int column) {
+    Diagnostic d;
+    d.code = std::string(code);
+    d.severity = Severity::kError;
+    d.location = {lineNo, column};
+    d.message = what;
+    diagnostics.push_back(std::move(d));
+    return false;
+  }
+
+  /// Whole-artifact diagnostic (semantic checks after the line loop).
+  bool failAt(std::string_view code, const std::string& what,
+              SourceLocation location) {
+    Diagnostic d;
+    d.code = std::string(code);
+    d.severity = Severity::kError;
+    d.location = location;
+    d.message = what;
+    diagnostics.push_back(std::move(d));
     return false;
   }
 };
 
-bool parseProcessList(const std::string& token, int n, ProcessSet* out,
-                      Parser& p) {
+bool parseProcessList(const std::string& token, int tokenCol, int n,
+                      ProcessSet* out, Parser& p) {
   if (token == "all") {
     *out = ProcessSet::full(n);
     return true;
@@ -40,10 +90,13 @@ bool parseProcessList(const std::string& token, int n, ProcessSet* out,
   while (std::getline(ids, part, ',')) {
     try {
       const int id = std::stoi(part);
-      if (id < 0 || id >= n) return p.fail("process id out of range: " + part);
+      if (id < 0 || id >= n)
+        return p.fail(kDiagProcessIdOutOfRange,
+                      "process id out of range: " + part, tokenCol);
       set.insert(id);
     } catch (const std::exception&) {
-      return p.fail("bad process id '" + part + "'");
+      return p.fail(kDiagParseError, "bad process id '" + part + "'",
+                    tokenCol);
     }
   }
   *out = set;
@@ -57,31 +110,38 @@ ScenarioParseResult parseScenario(const std::string& text) {
   Scenario& sc = result.scenario;
   Parser p(text);
   bool haveN = false, haveT = false, haveValues = false;
+  SourceLocation algorithmLoc, valuesLoc;
 
   std::string line;
   while (std::getline(p.in, line)) {
     ++p.lineNo;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
-    std::istringstream ls(line);
+    p.scan.reset(line);
     std::string directive;
-    if (!(ls >> directive)) continue;  // blank line
+    int directiveCol = 0;
+    if (!p.scan.next(&directive, &directiveCol)) continue;  // blank line
 
     auto expectInt = [&](int* out) {
       std::string tok;
-      if (!(ls >> tok)) return p.fail("missing integer argument");
+      int col = 0;
+      if (!p.scan.next(&tok, &col))
+        return p.fail(kDiagParseError, "missing integer argument",
+                      p.scan.endColumn());
       try {
         *out = std::stoi(tok);
       } catch (const std::exception&) {
-        return p.fail("expected integer, got '" + tok + "'");
+        return p.fail(kDiagParseError, "expected integer, got '" + tok + "'",
+                      col);
       }
       return true;
     };
 
     if (directive == "model") {
       std::string m;
-      if (!(ls >> m)) {
-        p.fail("missing model");
+      int col = 0;
+      if (!p.scan.next(&m, &col)) {
+        p.fail(kDiagParseError, "missing model", p.scan.endColumn());
         break;
       }
       if (m == "rs" || m == "RS") {
@@ -89,18 +149,21 @@ ScenarioParseResult parseScenario(const std::string& text) {
       } else if (m == "rws" || m == "RWS") {
         sc.model = RoundModel::kRws;
       } else {
-        p.fail("unknown model '" + m + "' (want rs or rws)");
+        p.fail(kDiagUnknownModel, "unknown model '" + m + "' (want rs or rws)",
+               col);
         break;
       }
     } else if (directive == "algorithm") {
-      if (!(ls >> sc.algorithm)) {
-        p.fail("missing algorithm name");
+      int col = 0;
+      if (!p.scan.next(&sc.algorithm, &col)) {
+        p.fail(kDiagParseError, "missing algorithm name", p.scan.endColumn());
         break;
       }
+      algorithmLoc = {p.lineNo, col};
     } else if (directive == "n") {
       if (!expectInt(&sc.cfg.n)) break;
       if (sc.cfg.n < 1 || sc.cfg.n > kMaxProcs) {
-        p.fail("n out of range");
+        p.fail(kDiagScenarioConfigOutOfRange, "n out of range", directiveCol);
         break;
       }
       haveN = true;
@@ -111,8 +174,10 @@ ScenarioParseResult parseScenario(const std::string& text) {
       if (!expectInt(&sc.horizon)) break;
     } else if (directive == "values") {
       sc.values.clear();
+      valuesLoc = {p.lineNo, directiveCol};
       std::string tok;
-      while (ls >> tok) {
+      int col = 0;
+      while (p.scan.next(&tok, &col)) {
         if (tok == "_") {
           sc.values.push_back(kUndecided);
           continue;
@@ -120,58 +185,69 @@ ScenarioParseResult parseScenario(const std::string& text) {
         try {
           sc.values.push_back(static_cast<Value>(std::stoi(tok)));
         } catch (const std::exception&) {
-          p.fail("bad value '" + tok + "'");
+          p.fail(kDiagParseError, "bad value '" + tok + "'", col);
           break;
         }
       }
-      if (!p.error.empty()) break;
+      if (!p.diagnostics.empty()) break;
       haveValues = true;
     } else if (directive == "crash") {
       int proc = 0, round = 0;
       std::string kw, sendtoKw, list;
+      int col = 0;
       if (!expectInt(&proc)) break;
-      if (!(ls >> kw) || kw != "round") {
-        p.fail("expected 'round'");
+      if (!p.scan.next(&kw, &col) || kw != "round") {
+        p.fail(kDiagParseError, "expected 'round'",
+               col > 0 ? col : p.scan.endColumn());
         break;
       }
       if (!expectInt(&round)) break;
-      if (!(ls >> sendtoKw) || sendtoKw != "sendto") {
-        p.fail("expected 'sendto'");
+      if (!p.scan.next(&sendtoKw, &col) || sendtoKw != "sendto") {
+        p.fail(kDiagParseError, "expected 'sendto'",
+               col > 0 ? col : p.scan.endColumn());
         break;
       }
-      if (!(ls >> list)) {
-        p.fail("missing sendto list");
+      int listCol = 0;
+      if (!p.scan.next(&list, &listCol)) {
+        p.fail(kDiagParseError, "missing sendto list", p.scan.endColumn());
         break;
       }
       if (!haveN) {
-        p.fail("'n' must precede 'crash'");
+        p.fail(kDiagMissingDirective, "'n' must precede 'crash'",
+               directiveCol);
         break;
       }
       if (proc < 0 || proc >= sc.cfg.n) {
-        p.fail("crash process out of range");
+        p.fail(kDiagProcessIdOutOfRange, "crash process out of range",
+               directiveCol);
         break;
       }
       CrashEvent c;
       c.p = proc;
       c.round = round;
-      if (!parseProcessList(list, sc.cfg.n, &c.sendTo, p)) break;
+      if (!parseProcessList(list, listCol, sc.cfg.n, &c.sendTo, p)) break;
       sc.script.crashes.push_back(c);
     } else if (directive == "pending") {
       int src = 0, dst = 0, round = 0;
       std::string arrow, kw, when;
+      int col = 0;
       if (!expectInt(&src)) break;
-      if (!(ls >> arrow) || arrow != "->") {
-        p.fail("expected '->'");
+      if (!p.scan.next(&arrow, &col) || arrow != "->") {
+        p.fail(kDiagParseError, "expected '->'",
+               col > 0 ? col : p.scan.endColumn());
         break;
       }
       if (!expectInt(&dst)) break;
-      if (!(ls >> kw) || kw != "round") {
-        p.fail("expected 'round'");
+      if (!p.scan.next(&kw, &col) || kw != "round") {
+        p.fail(kDiagParseError, "expected 'round'",
+               col > 0 ? col : p.scan.endColumn());
         break;
       }
       if (!expectInt(&round)) break;
-      if (!(ls >> when)) {
-        p.fail("expected 'arrival <r>' or 'never'");
+      int whenCol = 0;
+      if (!p.scan.next(&when, &whenCol)) {
+        p.fail(kDiagParseError, "expected 'arrival <r>' or 'never'",
+               p.scan.endColumn());
         break;
       }
       PendingChoice pc;
@@ -185,49 +261,57 @@ ScenarioParseResult parseScenario(const std::string& text) {
         if (!expectInt(&arrival)) break;
         pc.arrival = arrival;
       } else {
-        p.fail("expected 'arrival' or 'never', got '" + when + "'");
+        p.fail(kDiagParseError,
+               "expected 'arrival' or 'never', got '" + when + "'", whenCol);
         break;
       }
       sc.script.pendings.push_back(pc);
     } else {
-      p.fail("unknown directive '" + directive + "'");
+      p.fail(kDiagUnknownDirective, "unknown directive '" + directive + "'",
+             directiveCol);
       break;
     }
   }
 
-  if (p.error.empty()) {
-    if (!haveN || !haveT) p.fail("scenario needs both 'n' and 't'");
+  if (p.diagnostics.empty()) {
+    if (!haveN || !haveT)
+      p.failAt(kDiagMissingDirective, "scenario needs both 'n' and 't'", {});
   }
-  if (p.error.empty() && haveValues &&
+  if (p.diagnostics.empty() && haveValues &&
       static_cast<int>(sc.values.size()) != sc.cfg.n) {
-    p.lineNo = 0;
-    p.fail("'values' must list exactly n values");
+    std::ostringstream os;
+    os << "'values' must list exactly n values (got " << sc.values.size()
+       << ", n=" << sc.cfg.n << ")";
+    p.failAt(kDiagValueCountMismatch, os.str(), valuesLoc);
   }
-  if (p.error.empty() && !haveValues) {
+  if (p.diagnostics.empty() && !haveValues) {
     sc.values.assign(static_cast<std::size_t>(sc.cfg.n), 0);
     for (int i = 0; i < sc.cfg.n; ++i)
       sc.values[static_cast<std::size_t>(i)] = i;  // default: distinct
   }
-  if (p.error.empty()) {
-    // Algorithm must exist.
-    try {
-      algorithmByName(sc.algorithm);
-    } catch (const InvariantViolation&) {
-      p.lineNo = 0;
-      p.fail("unknown algorithm '" + sc.algorithm + "'");
-    }
+  result.structureOk = p.diagnostics.empty();
+  if (p.diagnostics.empty() && findAlgorithm(sc.algorithm) == nullptr) {
+    p.failAt(kDiagUnknownAlgorithm, "unknown algorithm '" + sc.algorithm + "'",
+             algorithmLoc);
   }
-  if (p.error.empty()) {
+  if (p.diagnostics.empty()) {
     const auto validity = validateScript(sc.script, sc.cfg, sc.model);
     if (!validity.ok) {
-      p.lineNo = 0;
-      p.fail("illegal script for " + ssvsp::toString(sc.model) + ": " +
-             validity.reason);
+      p.failAt(kDiagScriptInvalid,
+               "illegal script for " + ssvsp::toString(sc.model) + ": " +
+                   validity.reason,
+               {});
     }
   }
 
-  result.ok = p.error.empty();
-  result.error = p.error;
+  result.ok = p.diagnostics.empty();
+  result.diagnostics = p.diagnostics;
+  if (!result.ok) {
+    const Diagnostic& first = result.diagnostics.front();
+    result.error = first.location.valid()
+                       ? first.location.toString() + ": " + first.message
+                       : first.message;
+  }
   return result;
 }
 

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/diagnostic.hpp"
 #include "rounds/engine.hpp"
 
 namespace ssvsp {
@@ -43,12 +44,20 @@ struct Scenario {
 
 struct ScenarioParseResult {
   bool ok = true;
-  std::string error;  ///< first error, with the line number
+  std::string error;  ///< first error, with its line/column (back-compat)
+  /// Structured diagnostics with line/column-accurate locations and the
+  /// stable codes of src/lint/codes.hpp.  Empty iff ok.
+  std::vector<Diagnostic> diagnostics;
+  /// The directives parsed into a structurally complete scenario; only the
+  /// semantic script/registry validation may have failed.  The lint pass
+  /// (lintScenarioText) re-checks such scenarios with per-condition codes.
+  bool structureOk = false;
   Scenario scenario;
 };
 
 /// Parses the text format above.  Unknown directives, malformed arguments,
-/// out-of-range ids and scripts invalid for the model are all reported.
+/// out-of-range ids and scripts invalid for the model are all reported,
+/// each with the line and column of the offending token.
 ScenarioParseResult parseScenario(const std::string& text);
 
 /// Renders a scenario back into the text format (parse/serialize round-trip
