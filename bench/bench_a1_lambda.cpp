@@ -121,6 +121,9 @@ BENCHMARK(timeA1Run)->Arg(4)->Arg(16)->Arg(64);
 
 int main(int argc, char** argv) {
   const int threads = ssvsp::bench::parseThreads(&argc, argv);
-  ssvsp::lambdaTable(threads);
+  if (const int rc = ssvsp::bench::guarded([&] {
+    ssvsp::lambdaTable(threads);
+      }))
+    return rc;
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

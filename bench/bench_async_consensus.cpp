@@ -166,6 +166,9 @@ BENCHMARK(timeRotatingRun)->Arg(3)->Arg(5)->Arg(9);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  ssvsp::table();
+  if (const int rc = ssvsp::bench::guarded([&] {
+    ssvsp::table();
+      }))
+    return rc;
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

@@ -131,7 +131,10 @@ BENCHMARK(timeUrbRun)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  ssvsp::latencyTable();
-  ssvsp::correctnessTable();
+  if (const int rc = ssvsp::bench::guarded([&] {
+    ssvsp::latencyTable();
+    ssvsp::correctnessTable();
+      }))
+    return rc;
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

@@ -116,6 +116,9 @@ BENCHMARK(timeCommitRun)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  ssvsp::rateTable();
+  if (const int rc = ssvsp::bench::guarded([&] {
+    ssvsp::rateTable();
+      }))
+    return rc;
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

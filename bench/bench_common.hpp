@@ -16,10 +16,30 @@
 #include <string>
 
 #include "explore/spec.hpp"
+#include "lint/diagnostic.hpp"
 #include "util/table.hpp"
 #include "util/types.hpp"
 
 namespace ssvsp::bench {
+
+/// Exit status when a sweep preflight rejects its spec before running
+/// anything.  Distinct from 1 (benchmark flag errors) so CI scripts can
+/// tell a bad configuration from a bad measurement.
+inline constexpr int kPreflightExit = 3;
+
+/// Runs the experiment-table closure, mapping a PreflightError to a
+/// rendered diagnostic batch on stderr and kPreflightExit instead of an
+/// uncaught std::terminate.
+template <typename Fn>
+int guarded(Fn&& fn) {
+  try {
+    fn();
+    return 0;
+  } catch (const PreflightError& e) {
+    std::cerr << renderText(e.diagnostics(), "preflight");
+    return kPreflightExit;
+  }
+}
 
 /// Extracts `--threads=N` (or `--threads N`) from argv, removing it so the
 /// remaining flags can go to google-benchmark untouched.  Returns N, or

@@ -183,8 +183,11 @@ BENCHMARK(timeRsEmulatedRound)->Arg(3)->Arg(6)->Arg(12);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  ssvsp::costTable();
-  ssvsp::rsEndToEnd();
-  ssvsp::rwsTable();
+  if (const int rc = ssvsp::bench::guarded([&] {
+    ssvsp::costTable();
+    ssvsp::rsEndToEnd();
+    ssvsp::rwsTable();
+      }))
+    return rc;
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

@@ -112,6 +112,9 @@ BENCHMARK(timeFloodSetRun)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
 
 int main(int argc, char** argv) {
   const int threads = ssvsp::bench::parseThreads(&argc, argv);
-  ssvsp::sweepTable(threads);
+  if (const int rc = ssvsp::bench::guarded([&] {
+    ssvsp::sweepTable(threads);
+      }))
+    return rc;
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

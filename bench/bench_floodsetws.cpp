@@ -161,7 +161,10 @@ BENCHMARK(timeFloodSetWsRun)->Arg(4)->Arg(16)->Arg(64);
 
 int main(int argc, char** argv) {
   const int threads = ssvsp::bench::parseThreads(&argc, argv);
-  ssvsp::sweepTable(threads);
-  ssvsp::speedupTable();
+  if (const int rc = ssvsp::bench::guarded([&] {
+    ssvsp::sweepTable(threads);
+    ssvsp::speedupTable();
+      }))
+    return rc;
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

@@ -92,6 +92,9 @@ BENCHMARK(timeFOptRun)->Arg(4)->Arg(16)->Arg(64);
 
 int main(int argc, char** argv) {
   const int threads = ssvsp::bench::parseThreads(&argc, argv);
-  ssvsp::latMaxTable(threads);
+  if (const int rc = ssvsp::bench::guarded([&] {
+    ssvsp::latMaxTable(threads);
+      }))
+    return rc;
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

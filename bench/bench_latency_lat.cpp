@@ -71,6 +71,9 @@ BENCHMARK(timeLatencyProfile);
 
 int main(int argc, char** argv) {
   const int threads = ssvsp::bench::parseThreads(&argc, argv);
-  ssvsp::latTable(threads);
+  if (const int rc = ssvsp::bench::guarded([&] {
+    ssvsp::latTable(threads);
+      }))
+    return rc;
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

@@ -26,17 +26,13 @@ void summaryTable(int n, int t, bool exhaustive, int threads) {
     if (entry.requiresTLe1 && t > 1) continue;
     if (entry.name == "A1WS_candidate") continue;  // incorrect by design
     if (entry.name == "NonUniformEarlyFloodSet") continue;  // non-uniform spec
-    LatencyOptions o;
-    o.enumeration.horizon = t + 2;
-    o.enumeration.maxCrashes = t;
-    o.exhaustive = exhaustive;
-    o.samples = 400;
+    LatencyOptions o = canonicalLatencyOptions(entry, RoundConfig{n, t},
+                                               exhaustive);
+    o.samples = 400;  // table-sized sampling; the canonical 1000 is overkill
     o.seed = 12345;
     o.threads = threads;
-    if (entry.intendedModel == RoundModel::kRws) {
-      o.enumeration.pendingLags = {1, 0};
+    if (entry.intendedModel == RoundModel::kRws)
       o.enumeration.maxScripts = 80000;
-    }
     const auto p = measureLatency(entry.factory, RoundConfig{n, t},
                                   entry.intendedModel, o);
     std::string perF;
@@ -81,6 +77,9 @@ BENCHMARK(timeSummary);
 
 int main(int argc, char** argv) {
   const int threads = ssvsp::bench::parseThreads(&argc, argv);
-  ssvsp::run(threads);
+  if (const int rc = ssvsp::bench::guarded([&] {
+    ssvsp::run(threads);
+      }))
+    return rc;
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

@@ -123,7 +123,10 @@ BENCHMARK(timeSddSsRun);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  ssvsp::ssTable();
-  ssvsp::spTable();
+  if (const int rc = ssvsp::bench::guarded([&] {
+    ssvsp::ssTable();
+    ssvsp::spTable();
+      }))
+    return rc;
   return ssvsp::bench::runBenchmarks(argc, argv);
 }

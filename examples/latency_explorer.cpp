@@ -18,6 +18,7 @@
 
 #include "consensus/registry.hpp"
 #include "latency/latency.hpp"
+#include "lint/diagnostic.hpp"
 #include "mc/checker.hpp"
 
 namespace {
@@ -68,36 +69,33 @@ int main(int argc, char** argv) {
   }
 
   const RoundConfig cfg{n, t};
-  LatencyOptions o;
-  o.enumeration.horizon = t + 2;
-  o.enumeration.maxCrashes = t;
-  o.exhaustive = !sampled;
-  o.samples = 1000;
+  LatencyOptions o = canonicalLatencyOptions(*entry, cfg, !sampled);
   o.threads = threads;
-  if (entry->intendedModel == RoundModel::kRws) {
-    o.enumeration.pendingLags = {1, 0};
-    o.enumeration.maxScripts = 200000;
-  }
 
   std::cout << entry->name << " (" << entry->paperRef << ") in "
             << toString(entry->intendedModel) << ", n = " << n
             << ", t = " << t << (sampled ? " [sampled]" : " [exhaustive]")
             << ", " << resolveThreads(threads) << " worker thread(s)\n";
-  const auto profile =
-      measureLatency(entry->factory, cfg, entry->intendedModel, o);
-  std::cout << "  " << profile.toString() << "\n";
+  try {
+    const auto profile =
+        measureLatency(entry->factory, cfg, entry->intendedModel, o);
+    std::cout << "  " << profile.toString() << "\n";
 
-  if (check) {
-    McCheckOptions mo;
-    static_cast<ExploreSpec&>(mo) = o;  // same sweep description
-    const auto report = modelCheckConsensus(entry->factory, cfg,
-                                            entry->intendedModel, mo);
-    std::cout << "  spec check: " << report.summary() << "\n";
-    if (!report.ok()) {
-      std::cout << "  first violation: "
-                << report.violations.front().verdict.witness << "\n"
-                << report.violations.front().runDump;
+    if (check) {
+      McCheckOptions mo;
+      static_cast<ExploreSpec&>(mo) = o;  // same sweep description
+      const auto report = modelCheckConsensus(entry->factory, cfg,
+                                              entry->intendedModel, mo);
+      std::cout << "  spec check: " << report.summary() << "\n";
+      if (!report.ok()) {
+        std::cout << "  first violation: "
+                  << report.violations.front().verdict.witness << "\n"
+                  << report.violations.front().runDump;
+      }
     }
+  } catch (const PreflightError& e) {
+    std::cerr << renderText(e.diagnostics(), "preflight");
+    return 3;
   }
   return 0;
 }

@@ -1,0 +1,108 @@
+// ssvsp_analyze: the abstract-interpretation bound analyzer as a
+// command-line tool (src/analysis).
+//
+//   $ ./ssvsp_analyze                         # analyze every algorithm
+//   $ ./ssvsp_analyze EarlyFloodSet A1        # a subset
+//   $ ./ssvsp_analyze --json                  # machine-readable reports
+//   $ ./ssvsp_analyze --check-measured        # + exhaustive sweep cross-check
+//   $ ./ssvsp_analyze --no-golden             # skip the golden-table check
+//
+// Derives lat(A), Lat(A), Lambda(A) and the Lat(A, f) row of every
+// registered algorithm from its round automaton, fits the paper's closed
+// forms, and cross-checks against the declared bounds, the golden theorem
+// table and (optionally) exhaustive measured sweeps.  Divergences are L400
+// errors; structural findings (L401-L404) are notes.
+//
+// Exit status: 0 clean, 1 when a finding trips the --fail-on threshold
+// (errors by default), 2 on usage problems, 3 when a sweep preflight
+// rejects its spec.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "lint/lint.hpp"
+
+namespace {
+
+using namespace ssvsp;
+
+int usage() {
+  std::cerr
+      << "usage: ssvsp_analyze [--json] [--check-measured] [--no-golden]\n"
+         "                     [--fail-on=error|warning] [--threads N]\n"
+         "                     [algorithm ...]\n\n"
+         "registered algorithms:\n";
+  for (const auto& e : algorithmRegistry())
+    std::cerr << "  " << e.name << "  (" << e.paperRef << ", "
+              << toString(e.intendedModel) << ")\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  FailOn failOn = FailOn::kError;
+  AnalysisOptions options;
+  std::vector<std::string> names;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--check-measured") == 0) {
+      options.checkMeasured = true;
+    } else if (std::strcmp(argv[i], "--no-golden") == 0) {
+      options.checkGolden = false;
+    } else if (std::strncmp(argv[i], "--fail-on=", 10) == 0) {
+      if (!parseFailOn(argv[i] + 10, &failOn)) return usage();
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (++i >= argc) return usage();
+      options.threads = std::atoi(argv[i]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      options.threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      return usage();
+    } else {
+      names.emplace_back(argv[i]);
+    }
+  }
+
+  std::vector<const AlgorithmEntry*> entries;
+  if (names.empty()) {
+    for (const AlgorithmEntry& e : algorithmRegistry()) entries.push_back(&e);
+  } else {
+    for (const std::string& name : names) {
+      const AlgorithmEntry* e = findAlgorithm(name);
+      if (e == nullptr) {
+        std::cerr << "unknown algorithm '" << name << "'\n\n";
+        return usage();
+      }
+      entries.push_back(e);
+    }
+  }
+
+  bool failed = false;
+  try {
+    if (json) std::cout << "[";
+    bool first = true;
+    for (const AlgorithmEntry* entry : entries) {
+      const AnalysisReport report = analyzeAlgorithm(*entry, options);
+      if (failsThreshold(report.sink, failOn)) failed = true;
+      if (json) {
+        if (!first) std::cout << ",";
+        first = false;
+        std::cout << report.toJson();
+      } else {
+        std::cout << report.toText() << "\n";
+      }
+    }
+    if (json) std::cout << "]\n";
+  } catch (const PreflightError& e) {
+    if (json) std::cout << "]";
+    std::cerr << renderText(e.diagnostics(), "preflight");
+    return 3;
+  }
+  return failed ? 1 : 0;
+}

@@ -2,13 +2,17 @@
 // specs — the preflight of src/lint as a command-line tool.
 //
 //   $ ./ssvsp_lint scenarios/*.txt                 # lint scenario files
-//   $ ./ssvsp_lint --spec "n=3 t=2 model=rws lags=1:0"   # lint a sweep spec
+//   $ ./ssvsp_lint sweeps/big.spec                 # lint a sweep-spec file
+//   $ ./ssvsp_lint --spec "n=3 t=2 model=rws lags=1:0"   # inline sweep spec
 //   $ ./ssvsp_lint --json --budget 1000000 ...     # JSON, custom L208 budget
+//   $ ./ssvsp_lint --fail-on=warning ...           # -Werror for lints
 //
-// Exit status: 0 when no artifact produced an error diagnostic (warnings
-// and notes are reported but do not fail the lint), 1 when at least one
-// did, 2 on usage or I/O problems.  Diagnostic codes are documented in
-// DESIGN.md section 8.
+// Files ending in ".spec" are parsed as sweep-spec texts (the same k=v
+// format as --spec, '#' comments allowed); everything else is a scenario
+// file.  Exit status: 0 when no artifact tripped the --fail-on threshold
+// (errors by default; notes never fail a lint), 1 when at least one did,
+// 2 on usage or I/O problems.  Diagnostic codes are documented in DESIGN.md
+// section 8.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -24,13 +28,15 @@ using namespace ssvsp;
 
 int usage() {
   std::cerr
-      << "usage: ssvsp_lint [--json] [--budget N] [file.txt ...]\n"
+      << "usage: ssvsp_lint [--json] [--budget N] [--fail-on=error|warning]\n"
+         "                  [file.txt | file.spec ...]\n"
          "       ssvsp_lint [--json] [--budget N] --spec \"k=v ...\"\n"
          "\n"
-         "Lints scenario files and/or one sweep spec; exits nonzero when\n"
-         "any error diagnostic is produced.\n"
+         "Lints scenario files (*.txt), sweep-spec files (*.spec) and/or one\n"
+         "inline sweep spec; exits nonzero when any artifact trips the\n"
+         "--fail-on threshold (default: errors only).\n"
          "\n"
-         "--spec keys (space- or comma-separated k=v pairs):\n"
+         "spec keys (space- or comma-separated k=v pairs; '#' comments):\n"
          "  n, t            round config (required)\n"
          "  model           rs | rws (default rs)\n"
          "  horizon         enumeration horizon (default 3)\n"
@@ -40,86 +46,24 @@ int usage() {
          "  domain          value domain size (default 2)\n"
          "  threads, chunk, maxScripts   sweep engine knobs\n"
          "--budget N        script-space size that triggers L208\n"
+         "--fail-on=SEV     fail on warnings too, not just errors\n"
          "--json            machine-readable output\n";
   return 2;
 }
 
-/// Splits "k=v k=v" / "k=v,k=v" into pairs; false on a malformed token.
-/// The lag menu uses ':' between entries (lags=1:0) so ',' can separate
-/// pairs.
-bool parseSpecDescription(const std::string& text, RoundConfig* cfg,
-                          RoundModel* model, ExploreSpec* spec,
-                          std::string* problem) {
-  std::string norm = text;
-  for (char& c : norm)
-    if (c == ',') c = ' ';
-  std::istringstream in(norm);
-  std::string tok;
-  bool haveN = false, haveT = false;
-  while (in >> tok) {
-    const std::size_t eq = tok.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      *problem = "expected key=value, got '" + tok + "'";
-      return false;
-    }
-    const std::string key = tok.substr(0, eq);
-    const std::string value = tok.substr(eq + 1);
-    try {
-      if (key == "n") {
-        cfg->n = std::stoi(value);
-        haveN = true;
-      } else if (key == "t") {
-        cfg->t = std::stoi(value);
-        haveT = true;
-      } else if (key == "model") {
-        if (value == "rs" || value == "RS") {
-          *model = RoundModel::kRs;
-        } else if (value == "rws" || value == "RWS") {
-          *model = RoundModel::kRws;
-        } else {
-          *problem = "unknown model '" + value + "' (want rs or rws)";
-          return false;
-        }
-      } else if (key == "horizon") {
-        spec->enumeration.horizon = std::stoi(value);
-      } else if (key == "maxCrashes") {
-        spec->enumeration.maxCrashes = std::stoi(value);
-      } else if (key == "lags") {
-        spec->enumeration.pendingLags.clear();
-        std::istringstream lags(value);
-        std::string lag;
-        while (std::getline(lags, lag, ':'))
-          spec->enumeration.pendingLags.push_back(std::stoi(lag));
-      } else if (key == "maxScripts") {
-        spec->enumeration.maxScripts = std::stoll(value);
-      } else if (key == "domain") {
-        spec->valueDomain = std::stoi(value);
-      } else if (key == "threads") {
-        spec->threads = std::stoi(value);
-      } else if (key == "chunk") {
-        spec->chunkScripts = std::stoi(value);
-      } else {
-        *problem = "unknown spec key '" + key + "'";
-        return false;
-      }
-    } catch (const std::exception&) {
-      *problem = "bad value for '" + key + "': '" + value + "'";
-      return false;
-    }
-  }
-  if (!haveN || !haveT) {
-    *problem = "a spec needs both n= and t=";
-    return false;
-  }
-  return true;
+bool endsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
+  FailOn failOn = FailOn::kError;
   SweepLintOptions lintOpt;
   std::string specText;
+  bool haveSpec = false;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -132,22 +76,25 @@ int main(int argc, char** argv) {
       } catch (const std::exception&) {
         return usage();
       }
+    } else if (std::strncmp(argv[i], "--fail-on=", 10) == 0) {
+      if (!parseFailOn(argv[i] + 10, &failOn)) return usage();
     } else if (std::strcmp(argv[i], "--spec") == 0) {
       if (++i >= argc) return usage();
       specText = argv[i];
+      haveSpec = true;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       return usage();
     } else {
       files.emplace_back(argv[i]);
     }
   }
-  if (specText.empty() && files.empty()) return usage();
+  if (!haveSpec && files.empty()) return usage();
 
-  int errors = 0;
+  bool failed = false;
   bool firstJson = true;
   if (json) std::cout << "[";
   auto emit = [&](const std::string& artifact, const DiagnosticSink& sink) {
-    errors += sink.errorCount();
+    if (failsThreshold(sink, failOn)) failed = true;
     if (json) {
       if (!firstJson) std::cout << ",";
       firstJson = false;
@@ -168,24 +115,23 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
     DiagnosticSink sink;
-    lintScenarioText(buf.str(), sink);
+    if (endsWith(file, ".spec"))
+      lintSpecText(buf.str(), sink, lintOpt);
+    else
+      lintScenarioText(buf.str(), sink);
     emit(file, sink);
   }
 
-  if (!specText.empty()) {
-    RoundConfig cfg;
-    RoundModel model = RoundModel::kRs;
-    ExploreSpec spec;
-    std::string problem;
-    if (!parseSpecDescription(specText, &cfg, &model, &spec, &problem)) {
-      if (json) std::cout << "]";
-      std::cerr << "bad --spec: " << problem << "\n";
-      return 2;
-    }
+  if (haveSpec) {
     DiagnosticSink sink;
-    lintExploreSpec(spec, cfg, model, sink, lintOpt);
+    lintSpecText(specText, sink, lintOpt);
     emit("--spec", sink);
     if (!json && !sink.hasErrors()) {
+      RoundConfig cfg;
+      RoundModel model = RoundModel::kRs;
+      ExploreSpec spec;
+      std::string problem;
+      parseSweepSpecText(specText, &cfg, &model, &spec, &problem);
       const std::int64_t estimate =
           estimateScriptSpace(cfg, model, spec.enumeration);
       std::cout << "--spec: script space <= "
@@ -197,5 +143,5 @@ int main(int argc, char** argv) {
   }
 
   if (json) std::cout << "]\n";
-  return errors > 0 ? 1 : 0;
+  return failed ? 1 : 0;
 }

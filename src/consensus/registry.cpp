@@ -10,26 +10,74 @@
 
 namespace ssvsp {
 
+namespace {
+
+// The declared contracts restate Section 5's theorems (and the early-deciding
+// results of [7]) as closed forms over (f, t); src/analysis re-derives each
+// one from the automaton and trips L400 on any divergence.
+
+/// FloodSet decides at round t+1 unconditionally: every degree is t + 1.
+DeclaredLatencyBounds floodSetBounds() {
+  return {boundTPlus(1), boundTPlus(1), boundTPlus(1), boundTPlus(1)};
+}
+
+/// C_Opt*: the round-1 unanimity fast path gives lat = 1, but any divergent
+/// configuration falls back to the full t + 1 flood.
+DeclaredLatencyBounds cOptBounds() {
+  return {boundConst(1), boundTPlus(1), boundTPlus(1), boundTPlus(1)};
+}
+
+/// F_Opt*: the n-t-arrivals fast path fires from EVERY configuration in the
+/// run with t initial crashes, so lat = Lat = 1; the worst case (including
+/// failure-free divergent runs) stays t + 1.
+DeclaredLatencyBounds fOptBounds() {
+  return {boundConst(1), boundConst(1), boundTPlus(1), boundTPlus(1)};
+}
+
+/// A1 (t <= 1): round 1 while p1 lives, round 2 once it crashed.
+DeclaredLatencyBounds a1Bounds() {
+  return {boundConst(1), boundConst(1), boundConst(1), boundFPlusCapped(1)};
+}
+
+/// Early-deciding flood with rule f_r <= r - shift: decides by round
+/// f + shift, capped by the t + 1 fallback.
+DeclaredLatencyBounds earlyBounds(int shift) {
+  return {boundConstCapped(shift), boundConstCapped(shift),
+          boundConstCapped(shift), boundFPlusCapped(shift)};
+}
+
+/// Non-uniform rule f_r <= r - 1: round f + 1, i.e. round 1 failure-free.
+DeclaredLatencyBounds nonUniformBounds() {
+  return {boundConst(1), boundConst(1), boundConst(1), boundFPlusCapped(1)};
+}
+
+}  // namespace
+
 const std::vector<AlgorithmEntry>& algorithmRegistry() {
   static const std::vector<AlgorithmEntry> kRegistry = {
-      {"FloodSet", RoundModel::kRs, "Fig. 1", false, makeFloodSet()},
-      {"FloodSetWS", RoundModel::kRws, "Fig. 2", false, makeFloodSetWs()},
+      {"FloodSet", RoundModel::kRs, "Fig. 1", false, makeFloodSet(),
+       floodSetBounds()},
+      {"FloodSetWS", RoundModel::kRws, "Fig. 2", false, makeFloodSetWs(),
+       floodSetBounds()},
       {"C_OptFloodSet", RoundModel::kRs, "Sec. 5.2", false,
-       makeCOptFloodSet()},
+       makeCOptFloodSet(), cOptBounds()},
       {"C_OptFloodSetWS", RoundModel::kRws, "Sec. 5.2", false,
-       makeCOptFloodSetWs()},
-      {"F_OptFloodSet", RoundModel::kRs, "Fig. 3", false, makeFOptFloodSet()},
+       makeCOptFloodSetWs(), cOptBounds()},
+      {"F_OptFloodSet", RoundModel::kRs, "Fig. 3", false, makeFOptFloodSet(),
+       fOptBounds()},
       {"F_OptFloodSetWS", RoundModel::kRws, "Fig. 3 (WS)", false,
-       makeFOptFloodSetWs()},
-      {"A1", RoundModel::kRs, "Fig. 4", true, makeA1()},
+       makeFOptFloodSetWs(), fOptBounds()},
+      {"A1", RoundModel::kRs, "Fig. 4", true, makeA1(), a1Bounds()},
+      // Incorrect by design (the halt set does not repair A1 under RWS), so
+      // it ships without a latency contract.
       {"A1WS_candidate", RoundModel::kRws, "Sec. 5.3 (candidate)", true,
-       makeA1WsCandidate()},
+       makeA1WsCandidate(), std::nullopt},
       {"EarlyFloodSet", RoundModel::kRs, "ext ([7])", false,
-       makeEarlyFloodSet()},
+       makeEarlyFloodSet(), earlyBounds(2)},
       {"EarlyFloodSetWS", RoundModel::kRws, "ext ([7], WS)", false,
-       makeEarlyFloodSetWs()},
+       makeEarlyFloodSetWs(), earlyBounds(3)},
       {"NonUniformEarlyFloodSet", RoundModel::kRs, "Sec. 5.1 (non-uniform)",
-       false, makeNonUniformEarlyFloodSet()},
+       false, makeNonUniformEarlyFloodSet(), nonUniformBounds()},
   };
   return kRegistry;
 }

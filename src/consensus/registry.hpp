@@ -5,9 +5,11 @@
 // the same set, in the paper's order.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "consensus/bounds.hpp"
 #include "rounds/failure_script.hpp"
 #include "rounds/round_automaton.hpp"
 
@@ -22,6 +24,11 @@ struct AlgorithmEntry {
   /// Requires t <= 1 (A1 and its candidate repair).
   bool requiresTLe1 = false;
   RoundAutomatonFactory factory;
+  /// The paper's closed-form latency bounds for this algorithm, in its
+  /// intended model.  The static analyzer (src/analysis) derives the same
+  /// quantities from the automaton and reports L400 on divergence; nullopt
+  /// means "no contract" (A1WS_candidate, which is incorrect by design).
+  std::optional<DeclaredLatencyBounds> declaredBounds;
 };
 
 /// All registered algorithms, paper order.

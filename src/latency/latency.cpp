@@ -133,6 +133,21 @@ class LatShard : public SweepShard {
 
 }  // namespace
 
+LatencyOptions canonicalLatencyOptions(const AlgorithmEntry& entry,
+                                       const RoundConfig& cfg,
+                                       bool exhaustive) {
+  LatencyOptions options;
+  options.exhaustive = exhaustive;
+  options.samples = 1000;
+  options.enumeration.horizon = cfg.t + 2;
+  options.enumeration.maxCrashes = cfg.t;
+  if (entry.intendedModel == RoundModel::kRws) {
+    options.enumeration.pendingLags = {1, 0};
+    options.enumeration.maxScripts = 200000;
+  }
+  return options;
+}
+
 LatencyProfile measureLatency(const RoundAutomatonFactory& factory,
                               const RoundConfig& cfg, RoundModel model,
                               const LatencyOptions& options) {

@@ -26,6 +26,7 @@
 #include <map>
 #include <string>
 
+#include "consensus/registry.hpp"
 #include "explore/spec.hpp"
 #include "mc/enumerator.hpp"
 #include "rounds/engine.hpp"
@@ -53,6 +54,17 @@ struct LatencyProfile {
 
   std::string toString() const;
 };
+
+/// The canonical sweep for profiling `entry` at `cfg`: horizon t + 2 (every
+/// algorithm in the registry decides by t + 1; the slack round exposes
+/// post-decision traffic), crash budget t, and — in RWS — the pending-lag
+/// menu {1, 0} that realises weak round synchrony.  RWS spaces explode, so
+/// sampling there is capped at 200000 scripts.  Shared by the latency
+/// explorer, the benchmark tables and the static analyzer's measured
+/// cross-check so "measured" means the same sweep everywhere.
+LatencyOptions canonicalLatencyOptions(const AlgorithmEntry& entry,
+                                       const RoundConfig& cfg,
+                                       bool exhaustive = true);
 
 LatencyProfile measureLatency(const RoundAutomatonFactory& factory,
                               const RoundConfig& cfg, RoundModel model,

@@ -7,6 +7,7 @@
 //   L1xx  failure scripts  (admissibility per the paper's model definitions)
 //   L2xx  explore specs    (sweep descriptions: bounds, domains, cost)
 //   L3xx  scenario files   (text format: syntax, registry, consistency)
+//   L4xx  round automata   (derived decision/message bounds, src/analysis)
 //
 // The full table — code, default severity, one-line summary — is
 // diagCodeTable(); DESIGN.md section 8 documents the mapping to the paper.
@@ -51,6 +52,7 @@ inline constexpr std::string_view kDiagScriptSpaceOverBudget = "L208";
 inline constexpr std::string_view kDiagChunkScriptsClamped = "L209";
 inline constexpr std::string_view kDiagThreadsNegative = "L210";
 inline constexpr std::string_view kDiagLagPastHorizon = "L211";
+inline constexpr std::string_view kDiagSpecParseError = "L212";
 
 // --- L3xx: scenario-file checks -------------------------------------------
 inline constexpr std::string_view kDiagParseError = "L300";
@@ -64,6 +66,13 @@ inline constexpr std::string_view kDiagProcessIdOutOfRange = "L307";
 inline constexpr std::string_view kDiagAlgorithmModelMismatch = "L308";
 inline constexpr std::string_view kDiagAlgorithmResilience = "L309";
 inline constexpr std::string_view kDiagScriptInvalid = "L310";
+
+// --- L4xx: round-automaton analysis (src/analysis) ------------------------
+inline constexpr std::string_view kDiagBoundMismatch = "L400";
+inline constexpr std::string_view kDiagDecideBelowQuorum = "L401";
+inline constexpr std::string_view kDiagDeadEstimateRounds = "L402";
+inline constexpr std::string_view kDiagMessageAfterDecision = "L403";
+inline constexpr std::string_view kDiagPendingBoundExceeded = "L404";
 
 struct DiagCodeInfo {
   std::string_view code;
@@ -126,6 +135,8 @@ inline const std::vector<DiagCodeInfo>& diagCodeTable() {
        "negative thread count (treated as 'one per hardware thread')"},
       {kDiagLagPastHorizon, Severity::kWarning,
        "pending lag >= horizon: every arrival lands past the horizon"},
+      {kDiagSpecParseError, Severity::kError,
+       "malformed sweep-spec text (want space/comma-separated k=v pairs)"},
 
       {kDiagParseError, Severity::kError, "malformed directive argument"},
       {kDiagUnknownDirective, Severity::kError, "unknown directive"},
@@ -146,6 +157,21 @@ inline const std::vector<DiagCodeInfo>& diagCodeTable() {
        "algorithm is only proved for t <= 1 but t > 1"},
       {kDiagScriptInvalid, Severity::kError,
        "failure script inadmissible for the scenario's model"},
+
+      {kDiagBoundMismatch, Severity::kError,
+       "derived decision-round bound diverges from the declared/golden/"
+       "measured bound"},
+      {kDiagDecideBelowQuorum, Severity::kNote,
+       "a process can decide on information from fewer than n - t processes "
+       "(sound only under round synchrony)"},
+      {kDiagDeadEstimateRounds, Severity::kNote,
+       "estimates are stable for >= 1 full round before the decision rule "
+       "fires (dead waiting rounds)"},
+      {kDiagMessageAfterDecision, Severity::kNote,
+       "messages are sent after every process has decided (dead traffic "
+       "after quiescence of the decision)"},
+      {kDiagPendingBoundExceeded, Severity::kError,
+       "RWS in-flight pending messages exceed the 2*f*(n-1) model bound"},
   };
   return kTable;
 }

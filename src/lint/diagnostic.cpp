@@ -126,6 +126,23 @@ std::string renderJson(const std::vector<Diagnostic>& diagnostics,
   return os.str();
 }
 
+bool parseFailOn(const std::string& text, FailOn* out) {
+  if (text == "error") {
+    *out = FailOn::kError;
+    return true;
+  }
+  if (text == "warning") {
+    *out = FailOn::kWarning;
+    return true;
+  }
+  return false;
+}
+
+bool failsThreshold(const DiagnosticSink& sink, FailOn threshold) {
+  if (sink.hasErrors()) return true;
+  return threshold == FailOn::kWarning && sink.warningCount() > 0;
+}
+
 namespace {
 std::string preflightWhat(const std::vector<Diagnostic>& diagnostics) {
   std::ostringstream os;

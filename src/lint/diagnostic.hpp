@@ -83,6 +83,19 @@ std::string renderText(const std::vector<Diagnostic>& diagnostics,
 std::string renderJson(const std::vector<Diagnostic>& diagnostics,
                        const std::string& artifact = "");
 
+/// Severity threshold for a CLI exit status (--fail-on=error|warning).
+/// Notes never fail a lint, mirroring compiler behaviour.
+enum class FailOn {
+  kError,    ///< fail only on errors (the default)
+  kWarning,  ///< fail on warnings too (-Werror for lints)
+};
+
+/// Parses "error" / "warning"; false on anything else (`*out` untouched).
+bool parseFailOn(const std::string& text, FailOn* out);
+
+/// True when the sink holds a diagnostic at or above the threshold.
+bool failsThreshold(const DiagnosticSink& sink, FailOn threshold);
+
 /// Thrown by preflightSweep (and the analyzers that call it) when a spec is
 /// inadmissible.  what() is the rendered text of the error diagnostics.
 class PreflightError : public InvariantViolation {

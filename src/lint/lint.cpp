@@ -338,6 +338,97 @@ ScenarioLintResult lintScenarioText(const std::string& text,
   return out;
 }
 
+bool parseSweepSpecText(const std::string& text, RoundConfig* cfg,
+                        RoundModel* model, ExploreSpec* spec,
+                        std::string* problem) {
+  // Strip '#' comments per line, then flatten separators to spaces so the
+  // same parser accepts a one-line --spec argument and a .spec file.
+  std::string norm;
+  std::istringstream rawLines(text);
+  std::string line;
+  while (std::getline(rawLines, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    norm += line;
+    norm += ' ';
+  }
+  for (char& c : norm)
+    if (c == ',' || c == '\r' || c == '\t') c = ' ';
+  std::istringstream in(norm);
+  std::string tok;
+  bool haveN = false, haveT = false;
+  while (in >> tok) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *problem = "expected key=value, got '" + tok + "'";
+      return false;
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    try {
+      if (key == "n") {
+        cfg->n = std::stoi(value);
+        haveN = true;
+      } else if (key == "t") {
+        cfg->t = std::stoi(value);
+        haveT = true;
+      } else if (key == "model") {
+        if (value == "rs" || value == "RS") {
+          *model = RoundModel::kRs;
+        } else if (value == "rws" || value == "RWS") {
+          *model = RoundModel::kRws;
+        } else {
+          *problem = "unknown model '" + value + "' (want rs or rws)";
+          return false;
+        }
+      } else if (key == "horizon") {
+        spec->enumeration.horizon = std::stoi(value);
+      } else if (key == "maxCrashes") {
+        spec->enumeration.maxCrashes = std::stoi(value);
+      } else if (key == "lags") {
+        spec->enumeration.pendingLags.clear();
+        std::istringstream lags(value);
+        std::string lag;
+        while (std::getline(lags, lag, ':'))
+          spec->enumeration.pendingLags.push_back(std::stoi(lag));
+      } else if (key == "maxScripts") {
+        spec->enumeration.maxScripts = std::stoll(value);
+      } else if (key == "domain") {
+        spec->valueDomain = std::stoi(value);
+      } else if (key == "threads") {
+        spec->threads = std::stoi(value);
+      } else if (key == "chunk") {
+        spec->chunkScripts = std::stoi(value);
+      } else {
+        *problem = "unknown spec key '" + key + "'";
+        return false;
+      }
+    } catch (const std::exception&) {
+      *problem = "bad value for '" + key + "': '" + value + "'";
+      return false;
+    }
+  }
+  if (!haveN || !haveT) {
+    *problem = "a spec needs both n= and t=";
+    return false;
+  }
+  return true;
+}
+
+void lintSpecText(const std::string& text, DiagnosticSink& sink,
+                  const SweepLintOptions& options) {
+  RoundConfig cfg;
+  RoundModel model = RoundModel::kRs;
+  ExploreSpec spec;
+  std::string problem;
+  if (!parseSweepSpecText(text, &cfg, &model, &spec, &problem)) {
+    rep(sink, kDiagSpecParseError, Severity::kError, problem,
+        "write space/comma-separated k=v pairs; see ssvsp_lint --help");
+    return;
+  }
+  lintExploreSpec(spec, cfg, model, sink, options);
+}
+
 void preflightSweep(const RoundConfig& cfg, RoundModel model,
                     const ExploreSpec& spec, const SweepLintOptions& options,
                     DiagnosticSink* sink) {

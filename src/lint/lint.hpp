@@ -91,6 +91,21 @@ struct ScenarioLintResult {
 ScenarioLintResult lintScenarioText(const std::string& text,
                                     DiagnosticSink& sink);
 
+/// Parses the textual sweep-spec format shared by ssvsp_lint --spec,
+/// tests/data/*.spec artifacts and ssvsp_analyze: space- or comma-separated
+/// k=v pairs with keys n, t (both required), model (rs|rws), horizon,
+/// maxCrashes, lags (':'-separated menu), maxScripts, domain, threads,
+/// chunk.  Returns false and fills `problem` on malformed input; the outputs
+/// keep whatever defaults they held for keys the text omits.
+bool parseSweepSpecText(const std::string& text, RoundConfig* cfg,
+                        RoundModel* model, ExploreSpec* spec,
+                        std::string* problem);
+
+/// Lints a sweep-spec text: a parse failure is reported as kDiagSpecParseError
+/// (L212), a parsed spec gets the full lintExploreSpec pass.
+void lintSpecText(const std::string& text, DiagnosticSink& sink,
+                  const SweepLintOptions& options = {});
+
 /// The analyzers' preflight: lints (cfg, model, spec) and throws
 /// PreflightError carrying the diagnostics if any error was found.
 /// Warnings are returned to the optional sink but never throw.

@@ -63,7 +63,19 @@ class McShard : public SweepShard {
                     script, ctx_.engineOpt);
       ++report_.runsExecuted;
 
-      const UcVerdict verdict = checkUniformConsensus(run);
+      UcVerdict verdict = checkUniformConsensus(run);
+      const Round runLatency = run.latency();
+      if (ctx_.options.latencyBound != kNoRound &&
+          (runLatency == kNoRound || runLatency > ctx_.options.latencyBound)) {
+        verdict.withinLatencyBound = false;
+        std::ostringstream os;
+        os << verdict.witness << "[latency-bound] |r|="
+           << (runLatency == kNoRound ? std::string("inf")
+                                      : std::to_string(runLatency))
+           << " exceeds the asserted bound " << ctx_.options.latencyBound
+           << "; ";
+        verdict.witness = os.str();
+      }
       if (!verdict.ok() && static_cast<int>(report_.violations.size()) <
                                ctx_.options.maxViolations) {
         report_.violations.push_back({scriptIndex, static_cast<int>(ci),
@@ -71,7 +83,7 @@ class McShard : public SweepShard {
                                       run.toString()});
       }
 
-      const Round lat = run.latency();
+      const Round lat = runLatency;
       auto [wit, winserted] =
           report_.worstLatencyByCrashes.try_emplace(crashes, lat);
       if (!winserted) {

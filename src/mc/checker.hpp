@@ -69,6 +69,11 @@ struct McCheckOptions : ExploreSpec {
   /// Stop exploring (at the next chunk boundary) once this many violations
   /// are on record; the verdict is already clear.
   int maxViolations = 4;
+  /// Cross-check hook for the static analyzer (src/analysis): when set, any
+  /// run whose latency |r| exceeds this bound is reported as a violation
+  /// (UcVerdict::withinLatencyBound) even if the consensus spec holds, so an
+  /// exhaustive sweep can prove a derived Lat(A, f).  kNoRound disables it.
+  Round latencyBound = kNoRound;
 };
 
 McReport modelCheckConsensus(const RoundAutomatonFactory& factory,

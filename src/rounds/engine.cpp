@@ -84,6 +84,7 @@ RoundRunResult runRounds(const RoundConfig& cfg, RoundModel model,
 
   for (Round r = 1; r <= options.horizon; ++r) {
     result.roundsExecuted = r;
+    result.sentPerRound.push_back(0);
 
     // ---- send phase (msgs_i applied to the pre-round states) ----
     for (ProcessId p = 0; p < cfg.n; ++p) {
@@ -96,6 +97,7 @@ RoundRunResult runRounds(const RoundConfig& cfg, RoundModel model,
             procs[static_cast<std::size_t>(p)]->messageFor(dst);
         if (!msg.has_value()) continue;
         if (crashingNow && !sendTo.contains(dst)) continue;  // never sent
+        ++result.sentPerRound.back();
         InFlight f;
         f.src = p;
         f.sentRound = r;
@@ -165,6 +167,10 @@ RoundRunResult runRounds(const RoundConfig& cfg, RoundModel model,
         SSVSP_CHECK_MSG(!slot.has_value(), "p" << p << " revoked its decision");
       }
     }
+
+    int inFlight = 0;
+    for (const auto& box : inbox) inFlight += static_cast<int>(box.size());
+    result.peakPendingInFlight = std::max(result.peakPendingInFlight, inFlight);
 
     if (options.stopWhenAllDecided) {
       bool allDone = true;

@@ -55,6 +55,19 @@ struct RoundRunResult {
 
   std::vector<RoundDelivery> deliveries;  ///< filled if tracing enabled
 
+  /// Messages actually emitted per executed round (index r-1).  A message a
+  /// crashing sender never sends (outside its sendTo) does not count; a
+  /// pending message that surfaces late — or never, within the horizon —
+  /// does.  The analysis layer derives per-round message-complexity bounds
+  /// and quiescence rounds from these counters.
+  std::vector<std::int64_t> sentPerRound;
+
+  /// Peak number of sent-but-undelivered messages across all inboxes at any
+  /// round boundary.  Always 0 under RS; under RWS it is bounded by
+  /// 2 * f * (n - 1) (a dying sender can pend at most two rounds of
+  /// broadcasts), which the analyzer checks as L404.
+  int peakPendingInFlight = 0;
+
   /// The automata in their final states, for white-box inspection
   /// (describeState, algorithm-specific getters).  Makes the result
   /// move-only.

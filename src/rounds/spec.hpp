@@ -24,11 +24,17 @@ struct UcVerdict {
   bool uniformValidity = true;
   bool decisionInProposals = true;
   bool termination = true;
+  /// Cross-check hook: false when the run's |r| exceeds the latency bound a
+  /// caller asserted (McCheckOptions::latencyBound).  checkUniformConsensus
+  /// itself never clears this — it is not part of the consensus spec; the
+  /// model checker sets it so a statically derived Lat(A, f) can be proved
+  /// against every enumerated run.
+  bool withinLatencyBound = true;
   std::string witness;
 
   bool ok() const {
     return uniformAgreement && uniformValidity && decisionInProposals &&
-           termination;
+           termination && withinLatencyBound;
   }
 };
 

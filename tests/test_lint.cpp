@@ -42,6 +42,13 @@ DiagnosticSink lintDataFile(const std::string& name) {
   return sink;
 }
 
+DiagnosticSink lintSpecDataFile(const std::string& name) {
+  DiagnosticSink sink;
+  lintSpecText(readFile(std::filesystem::path(SSVSP_LINT_DATA_DIR) / name),
+               sink);
+  return sink;
+}
+
 /// The single non-note diagnostic of a seeded artifact.
 const Diagnostic& soleFinding(const DiagnosticSink& sink) {
   const Diagnostic* found = nullptr;
@@ -346,6 +353,39 @@ TEST(LintData, EachSeededArtifactProducesItsDocumentedCode) {
   }
 }
 
+TEST(LintData, EachSeededSpecProducesItsDocumentedCode) {
+  const std::vector<SeededCase> cases = {
+      {"L200_config_out_of_range.spec", kDiagConfigOutOfRange,
+       Severity::kError},
+      {"L201_crash_bound_vs_config.spec", kDiagCrashBoundVsConfig,
+       Severity::kError},
+      {"L202_empty_value_domain.spec", kDiagEmptyValueDomain,
+       Severity::kError},
+      {"L203_degenerate_value_domain.spec", kDiagDegenerateValueDomain,
+       Severity::kWarning},
+      {"L204_lags_in_rs.spec", kDiagPendingLagsInRs, Severity::kWarning},
+      {"L205_negative_lag.spec", kDiagNegativePendingLag, Severity::kError},
+      {"L206_duplicate_lag.spec", kDiagDuplicatePendingLag,
+       Severity::kWarning},
+      {"L207_horizon_out_of_range.spec", kDiagHorizonOutOfRange,
+       Severity::kError},
+      {"L208_script_space_over_budget.spec", kDiagScriptSpaceOverBudget,
+       Severity::kWarning},
+      {"L209_chunk_clamped.spec", kDiagChunkScriptsClamped,
+       Severity::kWarning},
+      {"L210_threads_negative.spec", kDiagThreadsNegative, Severity::kWarning},
+      {"L211_lag_past_horizon.spec", kDiagLagPastHorizon, Severity::kWarning},
+      {"L212_parse_error.spec", kDiagSpecParseError, Severity::kError},
+  };
+  for (const SeededCase& c : cases) {
+    SCOPED_TRACE(c.file);
+    const DiagnosticSink sink = lintSpecDataFile(c.file);
+    const Diagnostic& d = soleFinding(sink);
+    EXPECT_EQ(d.code, c.code);
+    EXPECT_EQ(d.severity, c.severity);
+  }
+}
+
 TEST(LintData, ParseDiagnosticsCarryLineAndColumn) {
   // "frobnicate 7" sits on line 6 (after the comment header), column 1.
   {
@@ -392,6 +432,78 @@ TEST(LintData, CounterexampleScenarioGetsModelMismatchNote) {
         d.severity == Severity::kNote)
       noted = true;
   EXPECT_TRUE(noted) << renderText(sink.diagnostics());
+}
+
+// --- spec-text parsing and fail thresholds --------------------------------
+
+TEST(LintSpecText, ParsesKeysCommentsAndSeparators) {
+  RoundConfig cfg;
+  RoundModel model = RoundModel::kRs;
+  ExploreSpec spec;
+  std::string problem;
+  const std::string text =
+      "# header comment\n"
+      "n=4, t=2\tmodel=rws\n"
+      "horizon=5 maxCrashes=2 lags=1:2:0  # trailing comment\n"
+      "maxScripts=999 domain=3 threads=4 chunk=32\n";
+  ASSERT_TRUE(parseSweepSpecText(text, &cfg, &model, &spec, &problem))
+      << problem;
+  EXPECT_EQ(cfg.n, 4);
+  EXPECT_EQ(cfg.t, 2);
+  EXPECT_EQ(model, RoundModel::kRws);
+  EXPECT_EQ(spec.enumeration.horizon, 5);
+  EXPECT_EQ(spec.enumeration.maxCrashes, 2);
+  EXPECT_EQ(spec.enumeration.pendingLags, (std::vector<int>{1, 2, 0}));
+  EXPECT_EQ(spec.enumeration.maxScripts, 999);
+  EXPECT_EQ(spec.valueDomain, 3);
+  EXPECT_EQ(spec.threads, 4);
+  EXPECT_EQ(spec.chunkScripts, 32);
+}
+
+TEST(LintSpecText, RejectsMissingConfigAndBadTokens) {
+  RoundConfig cfg;
+  RoundModel model = RoundModel::kRs;
+  ExploreSpec spec;
+  std::string problem;
+  EXPECT_FALSE(parseSweepSpecText("n=3", &cfg, &model, &spec, &problem));
+  EXPECT_NE(problem.find("n= and t="), std::string::npos) << problem;
+  EXPECT_FALSE(
+      parseSweepSpecText("n=3 t=1 bogus", &cfg, &model, &spec, &problem));
+  EXPECT_FALSE(
+      parseSweepSpecText("n=3 t=1 model=async", &cfg, &model, &spec,
+                         &problem));
+  EXPECT_FALSE(
+      parseSweepSpecText("n=3 t=x", &cfg, &model, &spec, &problem));
+}
+
+TEST(LintSpecText, CommentDoesNotSwallowFollowingLines) {
+  // A '#' ends its own line only; later lines still parse.
+  DiagnosticSink sink;
+  lintSpecText("# all of this is comment\nn=3 t=3\n", sink);
+  EXPECT_EQ(soleFinding(sink).code, kDiagConfigOutOfRange);
+}
+
+TEST(LintFailOn, ParseAndThreshold) {
+  FailOn failOn = FailOn::kError;
+  EXPECT_TRUE(parseFailOn("warning", &failOn));
+  EXPECT_EQ(failOn, FailOn::kWarning);
+  EXPECT_TRUE(parseFailOn("error", &failOn));
+  EXPECT_EQ(failOn, FailOn::kError);
+  EXPECT_FALSE(parseFailOn("note", &failOn));
+
+  DiagnosticSink warnings;
+  warnings.report("L203", Severity::kWarning, "degenerate domain", "");
+  EXPECT_FALSE(failsThreshold(warnings, FailOn::kError));
+  EXPECT_TRUE(failsThreshold(warnings, FailOn::kWarning));
+
+  DiagnosticSink errors;
+  errors.report("L200", Severity::kError, "bad config", "");
+  EXPECT_TRUE(failsThreshold(errors, FailOn::kError));
+  EXPECT_TRUE(failsThreshold(errors, FailOn::kWarning));
+
+  DiagnosticSink notes;
+  notes.report("L402", Severity::kNote, "dead rounds", "");
+  EXPECT_FALSE(failsThreshold(notes, FailOn::kWarning));
 }
 
 // --- renderers and the code registry --------------------------------------
