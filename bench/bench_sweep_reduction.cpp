@@ -1,0 +1,340 @@
+// Experiment E8: the sweep engine's state-space reduction stack.
+//
+// Each cell sweeps one (algorithm, n, t, model) space three ways:
+//
+//   legacy  — the pre-reduction hot path: forEachScript x allInitialConfigs
+//             with a fresh runRounds() (new automata, new buffers) per run;
+//   pooled  — modelCheckConsensus with Reduction::kNone: per-worker engine
+//             arenas, pooled automata, checkpoint/prefix resume;
+//   reduced — modelCheckConsensus with Reduction::kSymmetry on top: orbit
+//             memoization over the algorithm's process-id symmetry group.
+//
+// Reports must be bit-identical across all three (the reduction contract,
+// see DESIGN.md §10); the table and BENCH_sweep.json record wall-clock,
+// scripts/s, runs/s, the memo reduction factor and peak RSS.
+//
+// Flags:
+//   --smoke       one small RS cell only; exits non-zero unless the reduced
+//                 sweep is >= 2x faster than the pooled one (the CI gate).
+//   --out=PATH    where to write the JSON report (default BENCH_sweep.json).
+//   --threads=N   worker count for the pooled/reduced sweeps (default 1, so
+//                 speedups measure the reduction stack, not parallelism;
+//                 the legacy baseline is inherently serial).
+#include "bench_common.hpp"
+
+#include <sys/resource.h>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "consensus/registry.hpp"
+#include "explore/reduction.hpp"
+#include "mc/checker.hpp"
+#include "rounds/spec.hpp"
+
+namespace ssvsp {
+namespace {
+
+/// Peak resident set size of this process, in KiB (ru_maxrss unit on Linux).
+long peakRssKb() {
+  rusage u{};
+  getrusage(RUSAGE_SELF, &u);
+  return u.ru_maxrss;
+}
+
+struct Cell {
+  std::string name;
+  std::string algo;
+  int n = 3;
+  int t = 2;
+  RoundModel model = RoundModel::kRs;
+  std::int64_t maxScripts = -1;
+  /// The ISSUE's acceptance cell carries the >= 5x end-to-end requirement
+  /// (reduced vs legacy).
+  double requiredSpeedupVsLegacy = 0;
+};
+
+McCheckOptions cellOptions(const Cell& cell, int threads) {
+  McCheckOptions o;
+  o.enumeration.horizon = cell.t + 2;
+  o.enumeration.maxCrashes = cell.t;
+  if (cell.model == RoundModel::kRws) o.enumeration.pendingLags = {1, 0};
+  o.enumeration.maxScripts = cell.maxScripts;
+  o.maxViolations = 1000000000;  // count everything: keeps reports comparable
+  o.threads = threads;
+  return o;
+}
+
+struct LegacyOutcome {
+  std::int64_t scripts = 0;
+  std::int64_t runs = 0;
+  std::int64_t violations = 0;
+};
+
+/// The pre-reduction sweep loop, kept verbatim as the baseline: one fresh
+/// single-use execution per (script, config) pair, same horizon and early
+/// stop as the engine path.
+LegacyOutcome legacySweep(const AlgorithmEntry& entry, const Cell& cell,
+                          const McCheckOptions& options) {
+  const RoundConfig cfg{cell.n, cell.t};
+  RoundEngineOptions engineOpt;
+  engineOpt.horizon = options.enumeration.horizon + options.horizonSlack;
+  const auto configs = allInitialConfigs(cell.n, options.valueDomain);
+
+  LegacyOutcome out;
+  forEachScript(cfg, cell.model, options.enumeration,
+                [&](const FailureScript& script) {
+                  ++out.scripts;
+                  for (const auto& config : configs) {
+                    const RoundRunResult run =
+                        runRounds(cfg, cell.model, entry.factory, config,
+                                  script, engineOpt);
+                    ++out.runs;
+                    if (!checkUniformConsensus(run).ok()) ++out.violations;
+                  }
+                  return true;
+                });
+  return out;
+}
+
+struct CellResult {
+  Cell cell;
+  std::int64_t scripts = 0;
+  std::int64_t runs = 0;
+  double legacySecs = 0;
+  double pooledSecs = 0;
+  double reducedSecs = 0;
+  SweepRunStats stats;  ///< from the reduced sweep
+  bool identicalReports = false;
+
+  double speedupPooled() const {
+    return pooledSecs > 0 ? legacySecs / pooledSecs : 0;
+  }
+  double speedupReduced() const {
+    return reducedSecs > 0 ? legacySecs / reducedSecs : 0;
+  }
+  double speedupReducedVsPooled() const {
+    return reducedSecs > 0 ? pooledSecs / reducedSecs : 0;
+  }
+  /// (script, config) pairs per engine execution: the memo's dedup factor.
+  double reductionFactor() const {
+    const std::int64_t executed =
+        stats.runsExecuted + stats.runsReusedInEngine;
+    return executed > 0
+               ? static_cast<double>(stats.runsRequested) / executed
+               : 0;
+  }
+};
+
+CellResult runCell(const Cell& cell, int threads) {
+  const AlgorithmEntry& entry = algorithmByName(cell.algo);
+  const RoundConfig cfg{cell.n, cell.t};
+  const McCheckOptions base = cellOptions(cell, threads);
+
+  CellResult res;
+  res.cell = cell;
+
+  LegacyOutcome legacy;
+  res.legacySecs =
+      bench::wallSeconds([&] { legacy = legacySweep(entry, cell, base); });
+
+  McReport pooled;
+  res.pooledSecs = bench::wallSeconds([&] {
+    pooled = modelCheckConsensus(entry.factory, cfg, cell.model, base);
+  });
+
+  McCheckOptions reducedOpt = base;
+  reducedOpt.reduction = Reduction::kSymmetry;
+  reducedOpt.symmetryFixedIds = entry.symmetryFixedIds;
+  reducedOpt.runStats = &res.stats;
+  McReport reduced;
+  res.reducedSecs = bench::wallSeconds([&] {
+    reduced = modelCheckConsensus(entry.factory, cfg, cell.model, reducedOpt);
+  });
+
+  res.scripts = reduced.scriptsVisited;
+  res.runs = reduced.runsExecuted;
+  res.identicalReports =
+      pooled.summary() == reduced.summary() &&
+      legacy.scripts == reduced.scriptsVisited &&
+      legacy.runs == reduced.runsExecuted &&
+      legacy.violations ==
+          static_cast<std::int64_t>(reduced.violations.size());
+  return res;
+}
+
+std::string fmtSecs(double s) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << s;
+  return os.str();
+}
+
+std::string fmtX(double x) {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << x << "x";
+  return os.str();
+}
+
+void printTable(const std::vector<CellResult>& results) {
+  Table table({"cell", "algorithm", "n", "t", "model", "scripts", "runs",
+               "legacy s", "pooled s", "reduced s", "vs legacy", "vs pooled",
+               "dedup", "identical report"});
+  for (const CellResult& r : results) {
+    table.addRowValues(
+        r.cell.name, r.cell.algo, r.cell.n, r.cell.t, toString(r.cell.model),
+        r.scripts, r.runs, fmtSecs(r.legacySecs), fmtSecs(r.pooledSecs),
+        fmtSecs(r.reducedSecs), fmtX(r.speedupReduced()),
+        fmtX(r.speedupReducedVsPooled()), fmtX(r.reductionFactor()),
+        bench::checkMark(r.identicalReports));
+  }
+  table.print(std::cout);
+}
+
+void writeJson(const std::vector<CellResult>& results, int threads,
+               bool smoke, const std::string& path) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n"
+     << "  \"bench\": \"sweep_reduction\",\n"
+     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"threads\": " << threads << ",\n"
+     << "  \"peak_rss_kb\": " << peakRssKb() << ",\n"
+     << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    os << "    {\n"
+       << "      \"name\": \"" << r.cell.name << "\",\n"
+       << "      \"algorithm\": \"" << r.cell.algo << "\",\n"
+       << "      \"n\": " << r.cell.n << ",\n"
+       << "      \"t\": " << r.cell.t << ",\n"
+       << "      \"model\": \"" << toString(r.cell.model) << "\",\n"
+       << "      \"max_scripts\": " << r.cell.maxScripts << ",\n"
+       << "      \"scripts\": " << r.scripts << ",\n"
+       << "      \"runs\": " << r.runs << ",\n"
+       << "      \"identical_reports\": "
+       << (r.identicalReports ? "true" : "false") << ",\n"
+       << "      \"legacy\": {\"wall_s\": " << r.legacySecs
+       << ", \"scripts_per_s\": "
+       << (r.legacySecs > 0 ? static_cast<double>(r.scripts) / r.legacySecs
+                            : 0)
+       << ", \"runs_per_s\": "
+       << (r.legacySecs > 0 ? static_cast<double>(r.runs) / r.legacySecs : 0)
+       << "},\n"
+       << "      \"pooled\": {\"wall_s\": " << r.pooledSecs
+       << ", \"runs_per_s\": "
+       << (r.pooledSecs > 0 ? static_cast<double>(r.runs) / r.pooledSecs : 0)
+       << ", \"speedup_vs_legacy\": " << r.speedupPooled() << "},\n"
+       << "      \"reduced\": {\"wall_s\": " << r.reducedSecs
+       << ", \"runs_per_s\": "
+       << (r.reducedSecs > 0 ? static_cast<double>(r.runs) / r.reducedSecs
+                             : 0)
+       << ", \"speedup_vs_legacy\": " << r.speedupReduced()
+       << ", \"speedup_vs_pooled\": " << r.speedupReducedVsPooled()
+       << ", \"reduction_factor\": " << r.reductionFactor()
+       << ", \"runs_requested\": " << r.stats.runsRequested
+       << ", \"runs_from_memo\": " << r.stats.runsFromMemo
+       << ", \"runs_executed\": " << r.stats.runsExecuted
+       << ", \"runs_reused_in_engine\": " << r.stats.runsReusedInEngine
+       << ", \"rounds_executed\": " << r.stats.roundsExecuted
+       << ", \"rounds_resumed\": " << r.stats.roundsResumed
+       << ", \"memo_entries\": " << r.stats.memoEntries << "}";
+    if (r.cell.requiredSpeedupVsLegacy > 0) {
+      os << ",\n      \"acceptance\": {\"required_speedup_vs_legacy\": "
+         << r.cell.requiredSpeedupVsLegacy
+         << ", \"measured\": " << r.speedupReduced() << ", \"pass\": "
+         << (r.speedupReduced() >= r.cell.requiredSpeedupVsLegacy ? "true"
+                                                                  : "false")
+         << "}";
+    }
+    os << "\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+
+  std::ofstream out(path);
+  out << os.str();
+  std::cout << "\nwrote " << path << " (peak RSS " << peakRssKb()
+            << " KiB)\n";
+}
+
+std::vector<Cell> fullCells() {
+  return {
+      {"rs-n3", "FloodSet", 3, 2, RoundModel::kRs, -1, 0},
+      {"rs-n4", "FloodSet", 4, 2, RoundModel::kRs, -1, 0},
+      {"rws-n4", "FloodSetWS", 4, 2, RoundModel::kRws, 20000, 0},
+      // The ISSUE's acceptance cell: n=5, f=2, FloodSetWS under RWS.
+      {"rws-n5", "FloodSetWS", 5, 2, RoundModel::kRws, 20000, 5.0},
+      {"rws-n6", "FloodSetWS", 6, 2, RoundModel::kRws, 8000, 0},
+  };
+}
+
+std::vector<Cell> smokeCells() {
+  // Big enough that the 2x CI gate is safely above timer noise, small
+  // enough to finish in seconds.
+  return {{"smoke-rs-n5", "FloodSet", 5, 2, RoundModel::kRs, 20000, 0}};
+}
+
+int run(int threads, bool smoke, const std::string& outPath) {
+  bench::printHeader(
+      smoke ? "E8 (smoke) — sweep reduction stack"
+            : "E8 — sweep reduction stack (legacy vs pooled vs reduced)",
+      "reduced sweeps are bit-identical to unreduced ones and strictly "
+      "cheaper");
+
+  std::vector<CellResult> results;
+  for (const Cell& cell : smoke ? smokeCells() : fullCells())
+    results.push_back(runCell(cell, threads));
+
+  printTable(results);
+  writeJson(results, threads, smoke, outPath);
+
+  int rc = 0;
+  for (const CellResult& r : results) {
+    if (!r.identicalReports) {
+      std::cerr << "FAIL: cell " << r.cell.name
+                << " reports differ across modes\n";
+      rc = 1;
+    }
+    if (r.cell.requiredSpeedupVsLegacy > 0 &&
+        r.speedupReduced() < r.cell.requiredSpeedupVsLegacy) {
+      std::cerr << "FAIL: cell " << r.cell.name << " reduced speedup "
+                << fmtX(r.speedupReduced()) << " below required "
+                << fmtX(r.cell.requiredSpeedupVsLegacy) << " vs legacy\n";
+      rc = 1;
+    }
+    if (smoke && r.speedupReducedVsPooled() < 2.0) {
+      std::cerr << "FAIL: smoke gate: reduced sweep only "
+                << fmtX(r.speedupReducedVsPooled())
+                << " faster than unreduced (need >= 2x)\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace ssvsp
+
+int main(int argc, char** argv) {
+  const int threads = ssvsp::bench::parseThreads(&argc, argv, 1);
+  bool smoke = false;
+  std::string outPath = "BENCH_sweep.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      outPath = arg.substr(6);
+    } else if (arg == "--out" && i + 1 < argc) {
+      outPath = argv[++i];
+    }
+  }
+  int rc = 1;
+  if (const int guard = ssvsp::bench::guarded(
+          [&] { rc = ssvsp::run(threads, smoke, outPath); }))
+    return guard;
+  return rc;
+}

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "explore/reduction.hpp"
 #include "util/check.hpp"
 
 namespace ssvsp {
@@ -15,16 +16,9 @@ RoundConfig canonicalAnalysisConfig(const AlgorithmEntry& entry) {
 }
 
 std::vector<std::vector<Value>> canonicalConfigs(int n) {
-  SSVSP_CHECK(n >= 1 && n <= kMaxProcs);
-  std::vector<std::vector<Value>> configs;
-  const int rest = n - 1;
-  for (int mask = 0; mask < (1 << rest); ++mask) {
-    std::vector<Value> config(static_cast<std::size_t>(n), 0);
-    for (int i = 0; i < rest; ++i)
-      config[static_cast<std::size_t>(i + 1)] = (mask >> i) & 1;
-    configs.push_back(std::move(config));
-  }
-  return configs;
+  // One canonicalizer for the whole repo: the reduction layer owns the
+  // definition, the analyzer (and its golden tables) just consume it.
+  return canonicalValueConfigs(n);
 }
 
 namespace {

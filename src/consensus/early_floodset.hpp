@@ -30,6 +30,9 @@ class EarlyFloodSet : public FloodSet {
   void transition(
       const std::vector<std::optional<Payload>>& received) override;
   std::string describeState() const override;
+  std::unique_ptr<RoundAutomaton> clone() const override {
+    return std::make_unique<EarlyFloodSet>(*this);
+  }
 };
 
 RoundAutomatonFactory makeEarlyFloodSet();

@@ -32,6 +32,9 @@ class EarlyFloodSetWs : public FloodSet {
   void transition(
       const std::vector<std::optional<Payload>>& received) override;
   std::string describeState() const override;
+  std::unique_ptr<RoundAutomaton> clone() const override {
+    return std::make_unique<EarlyFloodSetWs>(*this);
+  }
 
  private:
   int shift_;

@@ -33,6 +33,9 @@ class FloodSet : public RoundAutomaton {
       const std::vector<std::optional<Payload>>& received) override;
   std::optional<Value> decision() const override { return decision_; }
   std::string describeState() const override;
+  std::unique_ptr<RoundAutomaton> clone() const override {
+    return std::make_unique<FloodSet>(*this);
+  }
 
   const std::set<Value>& w() const { return w_; }
   ProcessSet halt() const { return halt_; }

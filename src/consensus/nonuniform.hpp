@@ -30,6 +30,9 @@ class NonUniformEarlyFloodSet : public FloodSet {
   void transition(
       const std::vector<std::optional<Payload>>& received) override;
   std::string describeState() const override;
+  std::unique_ptr<RoundAutomaton> clone() const override {
+    return std::make_unique<NonUniformEarlyFloodSet>(*this);
+  }
 };
 
 RoundAutomatonFactory makeNonUniformEarlyFloodSet();

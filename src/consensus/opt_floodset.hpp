@@ -29,6 +29,9 @@ class COptFloodSet : public FloodSet {
   void transition(
       const std::vector<std::optional<Payload>>& received) override;
   std::string describeState() const override;
+  std::unique_ptr<RoundAutomaton> clone() const override {
+    return std::make_unique<COptFloodSet>(*this);
+  }
 };
 
 class FOptFloodSet : public FloodSet {
@@ -40,6 +43,9 @@ class FOptFloodSet : public FloodSet {
   void transition(
       const std::vector<std::optional<Payload>>& received) override;
   std::string describeState() const override;
+  std::unique_ptr<RoundAutomaton> clone() const override {
+    return std::make_unique<FOptFloodSet>(*this);
+  }
 
   bool decidedEarly() const { return decidedEarly_; }
 

@@ -54,30 +54,33 @@ DeclaredLatencyBounds nonUniformBounds() {
 }  // namespace
 
 const std::vector<AlgorithmEntry>& algorithmRegistry() {
+  // symmetryFixedIds: only the A1 family hard-codes process roles (p0
+  // broadcasts first, p1 is the fallback), so it pins ids {0, 1}; every
+  // flooding algorithm is invariant under all of S_n.
   static const std::vector<AlgorithmEntry> kRegistry = {
-      {"FloodSet", RoundModel::kRs, "Fig. 1", false, makeFloodSet(),
+      {"FloodSet", RoundModel::kRs, "Fig. 1", false, 0, makeFloodSet(),
        floodSetBounds()},
-      {"FloodSetWS", RoundModel::kRws, "Fig. 2", false, makeFloodSetWs(),
+      {"FloodSetWS", RoundModel::kRws, "Fig. 2", false, 0, makeFloodSetWs(),
        floodSetBounds()},
-      {"C_OptFloodSet", RoundModel::kRs, "Sec. 5.2", false,
+      {"C_OptFloodSet", RoundModel::kRs, "Sec. 5.2", false, 0,
        makeCOptFloodSet(), cOptBounds()},
-      {"C_OptFloodSetWS", RoundModel::kRws, "Sec. 5.2", false,
+      {"C_OptFloodSetWS", RoundModel::kRws, "Sec. 5.2", false, 0,
        makeCOptFloodSetWs(), cOptBounds()},
-      {"F_OptFloodSet", RoundModel::kRs, "Fig. 3", false, makeFOptFloodSet(),
-       fOptBounds()},
-      {"F_OptFloodSetWS", RoundModel::kRws, "Fig. 3 (WS)", false,
+      {"F_OptFloodSet", RoundModel::kRs, "Fig. 3", false, 0,
+       makeFOptFloodSet(), fOptBounds()},
+      {"F_OptFloodSetWS", RoundModel::kRws, "Fig. 3 (WS)", false, 0,
        makeFOptFloodSetWs(), fOptBounds()},
-      {"A1", RoundModel::kRs, "Fig. 4", true, makeA1(), a1Bounds()},
+      {"A1", RoundModel::kRs, "Fig. 4", true, 2, makeA1(), a1Bounds()},
       // Incorrect by design (the halt set does not repair A1 under RWS), so
       // it ships without a latency contract.
-      {"A1WS_candidate", RoundModel::kRws, "Sec. 5.3 (candidate)", true,
+      {"A1WS_candidate", RoundModel::kRws, "Sec. 5.3 (candidate)", true, 2,
        makeA1WsCandidate(), std::nullopt},
-      {"EarlyFloodSet", RoundModel::kRs, "ext ([7])", false,
+      {"EarlyFloodSet", RoundModel::kRs, "ext ([7])", false, 0,
        makeEarlyFloodSet(), earlyBounds(2)},
-      {"EarlyFloodSetWS", RoundModel::kRws, "ext ([7], WS)", false,
+      {"EarlyFloodSetWS", RoundModel::kRws, "ext ([7], WS)", false, 0,
        makeEarlyFloodSetWs(), earlyBounds(3)},
       {"NonUniformEarlyFloodSet", RoundModel::kRs, "Sec. 5.1 (non-uniform)",
-       false, makeNonUniformEarlyFloodSet(), nonUniformBounds()},
+       false, 0, makeNonUniformEarlyFloodSet(), nonUniformBounds()},
   };
   return kRegistry;
 }

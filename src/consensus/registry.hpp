@@ -23,6 +23,13 @@ struct AlgorithmEntry {
   std::string paperRef;
   /// Requires t <= 1 (A1 and its candidate repair).
   bool requiresTLe1 = false;
+  /// Number of LEADING process ids the algorithm treats specially: its
+  /// behaviour is invariant under every permutation of [symmetryFixedIds, n)
+  /// but not under permutations moving ids below it.  The FloodSet family
+  /// is fully id-symmetric (0); A1 and its candidate hard-code the roles of
+  /// p0 and p1 (2).  Consumed by ExploreSpec::symmetryFixedIds when a sweep
+  /// enables Reduction::kSymmetry (see src/explore/reduction.hpp).
+  int symmetryFixedIds = 0;
   RoundAutomatonFactory factory;
   /// The paper's closed-form latency bounds for this algorithm, in its
   /// intended model.  The static analyzer (src/analysis) derives the same

@@ -25,9 +25,9 @@ struct Chunk {
 /// the same script index as the pooled path.
 SweepOutcome sweepInline(
     const ScriptStream& stream, int chunkScripts,
-    const std::function<std::unique_ptr<SweepShard>()>& makeShard) {
+    const std::function<std::unique_ptr<SweepShard>(int)>& makeShard) {
   SweepOutcome out;
-  out.merged = makeShard();
+  out.merged = makeShard(0);
   std::int64_t index = 0;
   std::int64_t inChunk = 0;
   stream([&](const FailureScript& script) {
@@ -62,7 +62,8 @@ struct Pool {
   std::unique_ptr<SweepShard> merged;
   std::int64_t scriptsMerged = 0;
 
-  void workerLoop(const std::function<std::unique_ptr<SweepShard>()>& make) {
+  void workerLoop(int worker,
+                  const std::function<std::unique_ptr<SweepShard>(int)>& make) {
     while (true) {
       Chunk chunk;
       {
@@ -76,7 +77,7 @@ struct Pool {
         canPush.notify_one();
       }
 
-      auto shard = make();
+      auto shard = make(worker);
       std::int64_t index = chunk.firstScript;
       for (const FailureScript& script : chunk.scripts)
         shard->visit(script, index++);
@@ -116,7 +117,7 @@ struct Pool {
 
 SweepOutcome parallelSweep(
     const ScriptStream& stream, const ExploreSpec& spec,
-    const std::function<std::unique_ptr<SweepShard>()>& makeShard) {
+    const std::function<std::unique_ptr<SweepShard>(int worker)>& makeShard) {
   SSVSP_CHECK(makeShard != nullptr);
   const int threads = resolveThreads(spec.threads);
   const int chunkScripts = spec.chunkScripts >= 1 ? spec.chunkScripts : 1;
@@ -128,7 +129,8 @@ SweepOutcome parallelSweep(
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i)
-    workers.emplace_back([&pool, &makeShard] { pool.workerLoop(makeShard); });
+    workers.emplace_back(
+        [&pool, &makeShard, i] { pool.workerLoop(i, makeShard); });
 
   // Produce: cut the stream into chunks, pushing each to the bounded queue.
   Chunk next;
@@ -164,7 +166,7 @@ SweepOutcome parallelSweep(
   for (std::thread& w : workers) w.join();
 
   SweepOutcome out;
-  out.merged = pool.merged ? std::move(pool.merged) : makeShard();
+  out.merged = pool.merged ? std::move(pool.merged) : makeShard(0);
   out.scriptsMerged = pool.scriptsMerged;
   out.threadsUsed = threads;
   return out;

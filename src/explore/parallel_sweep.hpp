@@ -74,8 +74,15 @@ struct SweepOutcome {
 /// Runs the sweep described by `spec` (threads, chunkScripts) over `stream`.
 /// The enumeration itself stays serial (it is cheap next to executing runs);
 /// chunk processing is what parallelizes.
+///
+/// The factory receives the index of the worker thread the shard will run
+/// on (0 on the inline path), in [0, resolveThreads(spec.threads)).  Shards
+/// of the same worker never run concurrently, so the factory may hand them
+/// a shared per-worker arena (pooled engines, scratch buffers — see
+/// explore/reduction.hpp); such an arena must only be touched from visit(),
+/// never from mergeFrom(), which can run on a different thread.
 SweepOutcome parallelSweep(
     const ScriptStream& stream, const ExploreSpec& spec,
-    const std::function<std::unique_ptr<SweepShard>()>& makeShard);
+    const std::function<std::unique_ptr<SweepShard>(int worker)>& makeShard);
 
 }  // namespace ssvsp

@@ -1,0 +1,213 @@
+#include "explore/reduction.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "rounds/spec.hpp"
+#include "util/check.hpp"
+
+namespace ssvsp {
+
+std::vector<std::vector<Value>> canonicalValueConfigs(int n) {
+  SSVSP_CHECK(n >= 1 && n <= kMaxProcs);
+  std::vector<std::vector<Value>> configs;
+  const int rest = n - 1;
+  configs.reserve(std::size_t{1} << rest);
+  for (int mask = 0; mask < (1 << rest); ++mask) {
+    std::vector<Value> config(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < rest; ++i)
+      config[static_cast<std::size_t>(i + 1)] = (mask >> i) & 1;
+    configs.push_back(std::move(config));
+  }
+  return configs;
+}
+
+SymmetryGroup::SymmetryGroup(int n, int fixedIds) : n_(n) {
+  SSVSP_CHECK_MSG(n >= 1 && n <= kMaxProcs, "n = " << n);
+  SSVSP_CHECK_MSG(fixedIds >= 0 && fixedIds <= n, "fixedIds = " << fixedIds);
+  SSVSP_CHECK_MSG(n - fixedIds <= 8,
+                  "symmetry group over " << (n - fixedIds)
+                                         << " movable ids is too large");
+  std::vector<ProcessId> tail;
+  for (ProcessId p = fixedIds; p < n; ++p) tail.push_back(p);
+  do {
+    std::vector<ProcessId> perm(static_cast<std::size_t>(n));
+    for (ProcessId p = 0; p < fixedIds; ++p)
+      perm[static_cast<std::size_t>(p)] = p;
+    for (std::size_t i = 0; i < tail.size(); ++i)
+      perm[static_cast<std::size_t>(fixedIds) + i] = tail[i];
+    std::vector<ProcessId> inv(static_cast<std::size_t>(n));
+    for (ProcessId p = 0; p < n; ++p)
+      inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(p)])] = p;
+    perms_.push_back(std::move(perm));
+    inverses_.push_back(std::move(inv));
+  } while (std::next_permutation(tail.begin(), tail.end()));
+}
+
+std::uint64_t SymmetryGroup::applyToMask(int g, std::uint64_t mask) const {
+  const std::vector<ProcessId>& perm = perms_[static_cast<std::size_t>(g)];
+  std::uint64_t out = 0;
+  while (mask != 0) {
+    const int p = __builtin_ctzll(mask);
+    mask &= mask - 1;
+    out |= std::uint64_t{1} << perm[static_cast<std::size_t>(p)];
+  }
+  return out;
+}
+
+std::optional<RunSummary> RunMemo::find(const std::string& key) const {
+  const Shard& shard = shards_[shardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return std::nullopt;
+  return it->second;
+}
+
+void RunMemo::insert(const std::string& key, const RunSummary& summary) {
+  Shard& shard = shards_[shardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.emplace(key, summary);
+}
+
+std::int64_t RunMemo::size() const {
+  std::int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += static_cast<std::int64_t>(shard.map.size());
+  }
+  return total;
+}
+
+void PairCanonicalizer::encodeScript(int g, const FailureScript& script,
+                                     std::vector<std::int64_t>& out) {
+  const std::vector<ProcessId>& perm = group_.perm(g);
+
+  crashTuples_.clear();
+  for (const CrashEvent& c : script.crashes)
+    crashTuples_.push_back(
+        {std::int64_t{perm[static_cast<std::size_t>(c.p)]},
+         std::int64_t{c.round},
+         static_cast<std::int64_t>(group_.applyToMask(g, c.sendTo.mask()))});
+  std::sort(crashTuples_.begin(), crashTuples_.end());
+
+  pendingTuples_.clear();
+  for (const PendingChoice& pc : script.pendings)
+    pendingTuples_.push_back(
+        {std::int64_t{perm[static_cast<std::size_t>(pc.src)]},
+         std::int64_t{perm[static_cast<std::size_t>(pc.dst)]},
+         std::int64_t{pc.round}, std::int64_t{pc.arrival}});
+  std::sort(pendingTuples_.begin(), pendingTuples_.end());
+
+  out.clear();
+  // Record-count header keeps the flattened stream unambiguous across
+  // scripts with different crash/pending shapes.
+  out.push_back(static_cast<std::int64_t>(crashTuples_.size()));
+  out.push_back(static_cast<std::int64_t>(pendingTuples_.size()));
+  for (const auto& t : crashTuples_) out.insert(out.end(), t.begin(), t.end());
+  for (const auto& t : pendingTuples_)
+    out.insert(out.end(), t.begin(), t.end());
+}
+
+void PairCanonicalizer::setScript(const FailureScript& script) {
+  argmin_.clear();
+  bestScript_.clear();
+  for (int g = 0; g < group_.size(); ++g) {
+    encodeScript(g, script, candidate_);
+    if (argmin_.empty() || candidate_ < bestScript_) {
+      std::swap(bestScript_, candidate_);
+      argmin_.assign(1, g);
+    } else if (candidate_ == bestScript_) {
+      argmin_.push_back(g);
+    }
+  }
+}
+
+const std::string& PairCanonicalizer::key(const std::vector<Value>& config) {
+  SSVSP_CHECK_MSG(!argmin_.empty(), "key() before setScript()");
+  SSVSP_CHECK(static_cast<int>(config.size()) == group_.n());
+  bestConfig_.clear();
+  for (std::size_t i = 0; i < argmin_.size(); ++i) {
+    const std::vector<ProcessId>& inv = group_.inverse(argmin_[i]);
+    candidateConfig_.clear();
+    for (int q = 0; q < group_.n(); ++q)
+      candidateConfig_.push_back(
+          config[static_cast<std::size_t>(inv[static_cast<std::size_t>(q)])]);
+    if (i == 0 || candidateConfig_ < bestConfig_)
+      std::swap(bestConfig_, candidateConfig_);
+  }
+  keyBuffer_.assign(reinterpret_cast<const char*>(bestScript_.data()),
+                    bestScript_.size() * sizeof(std::int64_t));
+  keyBuffer_.append(reinterpret_cast<const char*>(bestConfig_.data()),
+                    bestConfig_.size() * sizeof(Value));
+  return keyBuffer_;
+}
+
+void SweepRunStats::add(const SweepRunStats& o) {
+  runsRequested += o.runsRequested;
+  runsFromMemo += o.runsFromMemo;
+  runsExecuted += o.runsExecuted;
+  runsReusedInEngine += o.runsReusedInEngine;
+  roundsExecuted += o.roundsExecuted;
+  roundsResumed += o.roundsResumed;
+  memoEntries += o.memoEntries;
+}
+
+RunExecutor::RunExecutor(const RoundConfig& cfg, RoundModel model,
+                         RoundAutomatonFactory factory,
+                         std::vector<std::vector<Value>> configs,
+                         const RoundEngineOptions& engineOptions,
+                         const SymmetryGroup* group, RunMemo* memo)
+    : configs_(std::move(configs)) {
+  SSVSP_CHECK(!configs_.empty());
+  engines_.reserve(configs_.size());
+  for (std::size_t i = 0; i < configs_.size(); ++i)
+    engines_.push_back(
+        std::make_unique<RoundEngine>(cfg, model, factory, engineOptions));
+  if (group != nullptr && memo != nullptr && !group->trivial()) {
+    memo_ = memo;
+    canon_ = std::make_unique<PairCanonicalizer>(*group);
+  }
+}
+
+RunSummary RunExecutor::run(const FailureScript& script,
+                            std::int64_t scriptIndex,
+                            std::size_t configIndex) {
+  SSVSP_CHECK(configIndex < configs_.size());
+  ++runsRequested_;
+
+  const std::string* key = nullptr;
+  if (canon_ != nullptr) {
+    if (scriptIndex < 0 || scriptIndex != lastScriptIndex_) {
+      canon_->setScript(script);
+      lastScriptIndex_ = scriptIndex;
+    }
+    key = &canon_->key(configs_[configIndex]);
+    if (std::optional<RunSummary> hit = memo_->find(*key)) {
+      ++runsFromMemo_;
+      return *hit;
+    }
+  }
+
+  RoundEngine& engine = *engines_[configIndex];
+  engine.execute(configs_[configIndex], script);
+  const RoundRunResult& run = engine.result();
+  const RunSummary summary{run.latency(), checkUniformConsensus(run).ok()};
+  if (key != nullptr) memo_->insert(*key, summary);
+  return summary;
+}
+
+SweepRunStats RunExecutor::stats() const {
+  SweepRunStats s;
+  s.runsRequested = runsRequested_;
+  s.runsFromMemo = runsFromMemo_;
+  for (const auto& engine : engines_) {
+    const RoundEngine::Stats& es = engine->stats();
+    s.runsExecuted += es.runsExecuted;
+    s.runsReusedInEngine += es.runsReused;
+    s.roundsExecuted += es.roundsExecuted;
+    s.roundsResumed += es.roundsResumed;
+  }
+  return s;
+}
+
+}  // namespace ssvsp

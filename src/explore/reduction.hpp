@@ -1,0 +1,202 @@
+// State-space reduction for sweep engines: symmetry-canonical run
+// memoization plus the per-worker execution arena that owns the pooled
+// RoundEngines.
+//
+// The registered algorithms are invariant under permuting process ids —
+// entirely (the FloodSet family) or above the ids they hard-code
+// (AlgorithmEntry::symmetryFixedIds; A1 pins p0/p1).  Two (script, initial
+// config) pairs related by such a permutation therefore produce runs with
+// the same latency degree and the same uniform-consensus verdict.  The
+// sweep still VISITS every pair — per-config minima, per-crash-count worst
+// cases and violation order are untouched, so McReport / LatencyProfile
+// stay bit-identical to unreduced mode by construction — but only one pair
+// per orbit pays for an engine execution; the rest recall the memoized
+// RunSummary by canonical key.
+//
+// Orbits are keyed by a canonical form computed in two steps: (1) minimize
+// the script's encoding over the group, keeping the argmin coset, then
+// (2) minimize the config's encoding over that coset only.  Pairs map to
+// the same key iff they are in the same orbit (the usual
+// minimize-then-stabilize argument, spelled out in DESIGN.md §10).
+//
+// Violating runs are the one place a summary is not enough — the checker
+// needs the exact witness text — so callers re-execute those runs fresh;
+// summaries only ever SKIP work, never replace a dump.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rounds/engine.hpp"
+#include "rounds/failure_script.hpp"
+#include "rounds/round_automaton.hpp"
+
+namespace ssvsp {
+
+/// All binary initial configurations over n processes with process 0 pinned
+/// to value 0 — the canonical config set modulo value relabeling that the
+/// abstract-interpretation analyzer sweeps.  (Value symmetry, distinct from
+/// the process-id symmetry below; the analyzer composes both.)
+std::vector<std::vector<Value>> canonicalValueConfigs(int n);
+
+/// The permutations of [0, n) acting as the identity on [0, fixedIds) —
+/// the symmetries of an algorithm that treats the first `fixedIds` ids
+/// specially and no others.
+class SymmetryGroup {
+ public:
+  /// Requires 0 <= fixedIds <= n and n - fixedIds <= 8 (8! = 40320
+  /// permutations; sweeps never exceed single-digit n).
+  SymmetryGroup(int n, int fixedIds);
+
+  int n() const { return n_; }
+  int size() const { return static_cast<int>(perms_.size()); }
+  /// Only the identity — reduction degenerates to plain memoization of
+  /// exact repeats, which never happens in an enumerated stream, so
+  /// callers skip the memo entirely.
+  bool trivial() const { return perms_.size() <= 1; }
+
+  /// perm(g)[p] = image of process p under the g-th permutation.
+  const std::vector<ProcessId>& perm(int g) const {
+    return perms_[static_cast<std::size_t>(g)];
+  }
+  /// inverse(g)[q] = the process the g-th permutation maps to q.
+  const std::vector<ProcessId>& inverse(int g) const {
+    return inverses_[static_cast<std::size_t>(g)];
+  }
+  /// Image of a process-id bit mask under the g-th permutation.
+  std::uint64_t applyToMask(int g, std::uint64_t mask) const;
+
+ private:
+  int n_;
+  std::vector<std::vector<ProcessId>> perms_;
+  std::vector<std::vector<ProcessId>> inverses_;
+};
+
+/// Everything the sweep analyzers consume per run, and nothing more.  Both
+/// fields are invariant under the algorithm's symmetry group, which is what
+/// makes memoizing them sound; anything richer (witness text, per-process
+/// decisions) is NOT invariant and must come from a fresh execution.
+struct RunSummary {
+  Round latency = kNoRound;  ///< RoundRunResult::latency()
+  bool consensusOk = true;   ///< checkUniformConsensus(run).ok()
+};
+
+/// Thread-safe canonical-key -> RunSummary store, shared by every worker of
+/// a sweep.  Mutex-sharded by key hash; values are pure functions of the
+/// key (class invariants of the orbit), so the first-writer race between
+/// workers cannot change what any reader observes.
+class RunMemo {
+ public:
+  std::optional<RunSummary> find(const std::string& key) const;
+  void insert(const std::string& key, const RunSummary& summary);
+  std::int64_t size() const;
+
+ private:
+  static constexpr std::size_t kShards = 64;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, RunSummary> map;
+  };
+  static std::size_t shardOf(const std::string& key) {
+    return std::hash<std::string>{}(key) % kShards;
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// Computes the canonical memo key of a (script, config) pair.  Stateful so
+/// the expensive half — minimizing the script over the whole group — is
+/// paid once per script and shared by every config swept under it.
+/// Single-threaded (one instance per worker); all buffers are reused.
+class PairCanonicalizer {
+ public:
+  explicit PairCanonicalizer(const SymmetryGroup& group) : group_(group) {}
+
+  /// Minimizes the script encoding over the group and records the argmin
+  /// coset.  Call whenever the script changes.
+  void setScript(const FailureScript& script);
+
+  /// Canonical key of (current script, config): the minimal script bytes
+  /// followed by the config bytes minimized over the argmin coset.  The
+  /// returned reference is invalidated by the next call.
+  const std::string& key(const std::vector<Value>& config);
+
+ private:
+  void encodeScript(int g, const FailureScript& script,
+                    std::vector<std::int64_t>& out);
+
+  const SymmetryGroup& group_;
+  std::vector<int> argmin_;  ///< perm indices achieving the script minimum
+  std::vector<std::int64_t> bestScript_;
+  std::vector<std::int64_t> candidate_;
+  std::vector<std::array<std::int64_t, 3>> crashTuples_;
+  std::vector<std::array<std::int64_t, 4>> pendingTuples_;
+  std::vector<Value> bestConfig_;
+  std::vector<Value> candidateConfig_;
+  std::string keyBuffer_;
+};
+
+/// Counters surfaced by the perf layers (bench_sweep_reduction and the
+/// McCheckOptions::runStats out-param).  Deliberately NOT part of McReport:
+/// reports stay bit-identical across reduction modes and thread counts,
+/// while these numbers legitimately vary with both.
+struct SweepRunStats {
+  std::int64_t runsRequested = 0;  ///< (script, config) pairs visited
+  std::int64_t runsFromMemo = 0;   ///< served by a memoized summary
+  std::int64_t runsExecuted = 0;   ///< engine executions (>= 1 round run)
+  std::int64_t runsReusedInEngine = 0;  ///< fully covered by the prior run
+  std::int64_t roundsExecuted = 0;
+  std::int64_t roundsResumed = 0;  ///< rounds skipped via checkpoints
+  std::int64_t memoEntries = 0;    ///< distinct orbits executed
+
+  void add(const SweepRunStats& o);
+};
+
+/// The per-worker execution arena: one pooled, checkpoint-resuming
+/// RoundEngine per initial configuration, plus the canonicalizer feeding
+/// the shared memo.  A sweep creates one executor per worker thread (see
+/// the parallelSweep factory) and keeps it alive across chunks, so
+/// automata, inboxes and buffers are allocated once per worker for the
+/// whole sweep.  Not thread-safe; the shared RunMemo is.
+class RunExecutor {
+ public:
+  /// `group`/`memo` may be null (or the group trivial) to disable symmetry
+  /// reduction; pooling and prefix-resume still apply.  `configs` is
+  /// copied.  Both referenced objects must outlive the executor.
+  RunExecutor(const RoundConfig& cfg, RoundModel model,
+              RoundAutomatonFactory factory,
+              std::vector<std::vector<Value>> configs,
+              const RoundEngineOptions& engineOptions,
+              const SymmetryGroup* group, RunMemo* memo);
+
+  /// The summary of running configs[configIndex] under `script` — recalled
+  /// from the memo when the pair's orbit already executed, freshly executed
+  /// (and published) otherwise.  `scriptIndex` keys the per-script
+  /// canonicalization cache: pass the stream index, identical across the
+  /// config loop of one script; a negative index disables the cache.
+  RunSummary run(const FailureScript& script, std::int64_t scriptIndex,
+                 std::size_t configIndex);
+
+  const std::vector<std::vector<Value>>& configs() const { return configs_; }
+
+  /// Aggregated counters (memoEntries left 0 — only the sweep owner can
+  /// read the shared memo's final size).
+  SweepRunStats stats() const;
+
+ private:
+  std::vector<std::vector<Value>> configs_;
+  std::vector<std::unique_ptr<RoundEngine>> engines_;  ///< one per config
+  RunMemo* memo_ = nullptr;
+  std::unique_ptr<PairCanonicalizer> canon_;  ///< null = reduction off
+  std::int64_t lastScriptIndex_ = -1;
+  std::int64_t runsRequested_ = 0;
+  std::int64_t runsFromMemo_ = 0;
+};
+
+}  // namespace ssvsp

@@ -33,11 +33,30 @@ struct EnumOptions {
   std::int64_t maxScripts = -1;
 };
 
+/// State-space reduction strategy for a sweep (src/explore/reduction.hpp).
+enum class Reduction {
+  /// Execute every (script, config) pair directly.
+  kNone,
+  /// Memoize runs modulo process-id permutations: pairs in the same orbit
+  /// under the permutations fixing [0, symmetryFixedIds) share one
+  /// execution.  Sound only for id-symmetric algorithms (see
+  /// AlgorithmEntry::symmetryFixedIds); results are bit-identical to kNone
+  /// by construction — the sweep still visits every pair, only the engine
+  /// work is deduplicated.
+  kSymmetry,
+};
+
 /// The shared sweep description consumed by modelCheckConsensus and
 /// measureLatency (and anything else that walks script x config spaces).
 struct ExploreSpec {
   EnumOptions enumeration;  ///< script space (exhaustive mode)
   int valueDomain = 2;      ///< initial configs drawn from [0, valueDomain)
+  /// State-space reduction; kSymmetry needs `symmetryFixedIds` to cover
+  /// every process id the algorithm treats specially.
+  Reduction reduction = Reduction::kNone;
+  /// Leading process ids NOT permuted by symmetry reduction (the ids the
+  /// algorithm distinguishes; 0 for fully symmetric algorithms, 2 for A1).
+  int symmetryFixedIds = 0;
   /// Extra engine rounds past the enumeration horizon, so that decisions
   /// scheduled at t+1 still happen when crashes land late.
   int horizonSlack = 2;

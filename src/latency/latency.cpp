@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "explore/parallel_sweep.hpp"
+#include "explore/reduction.hpp"
 #include "lint/lint.hpp"
 #include "rounds/adversary.hpp"
 #include "util/check.hpp"
@@ -45,18 +46,16 @@ struct LatContext {
 /// split — the profile is thread-count-invariant.
 class LatShard : public SweepShard {
  public:
-  explicit LatShard(const LatContext& ctx)
-      : ctx_(ctx), minPerConfig_(ctx.configs.size(), kNoRound) {}
+  LatShard(const LatContext& ctx, RunExecutor* executor)
+      : ctx_(ctx),
+        executor_(executor),
+        minPerConfig_(ctx.configs.size(), kNoRound) {}
 
-  void visit(const FailureScript& script, std::int64_t /*scriptIndex*/)
-      override {
+  void visit(const FailureScript& script, std::int64_t scriptIndex) override {
     const int crashes = script.numCrashes();
     for (std::size_t ci = 0; ci < ctx_.configs.size(); ++ci) {
-      const RoundRunResult run = runRounds(ctx_.cfg, ctx_.model, ctx_.factory,
-                                           ctx_.configs[ci], script,
-                                           ctx_.engineOpt);
       ++runsExecuted_;
-      const Round lr = run.latency();
+      const Round lr = executor_->run(script, scriptIndex, ci).latency;
 
       Round& cmin = minPerConfig_[ci];
       if (lr != kNoRound && (cmin == kNoRound || lr < cmin)) cmin = lr;
@@ -123,6 +122,7 @@ class LatShard : public SweepShard {
 
  private:
   const LatContext& ctx_;
+  RunExecutor* executor_;  ///< the owning worker's arena; visit()-only
   std::int64_t runsExecuted_ = 0;
   /// lat(A, C) per configuration index; latencies here are "min over runs",
   /// so start at kNoRound (no run seen yet).
@@ -145,6 +145,11 @@ LatencyOptions canonicalLatencyOptions(const AlgorithmEntry& entry,
     options.enumeration.pendingLags = {1, 0};
     options.enumeration.maxScripts = 200000;
   }
+  // Behaviour-preserving accelerator: profiles are bit-identical with
+  // reduction on (the orbit-equivalence tests pin this), it only cuts the
+  // number of engine executions.
+  options.reduction = Reduction::kSymmetry;
+  options.symmetryFixedIds = entry.symmetryFixedIds;
   return options;
 }
 
@@ -185,8 +190,23 @@ LatencyProfile measureLatency(const RoundAutomatonFactory& factory,
     };
   }
 
-  SweepOutcome outcome = parallelSweep(
-      stream, options, [&] { return std::make_unique<LatShard>(ctx); });
+  // One execution arena per worker, exactly like modelCheckConsensus.
+  std::unique_ptr<SymmetryGroup> group;
+  std::unique_ptr<RunMemo> memo;
+  if (options.reduction == Reduction::kSymmetry) {
+    group = std::make_unique<SymmetryGroup>(cfg.n, options.symmetryFixedIds);
+    memo = std::make_unique<RunMemo>();
+  }
+  std::vector<std::unique_ptr<RunExecutor>> arenas;
+  for (int w = 0; w < resolveThreads(options.threads); ++w)
+    arenas.push_back(std::make_unique<RunExecutor>(
+        cfg, model, factory, ctx.configs, ctx.engineOpt, group.get(),
+        memo.get()));
+
+  SweepOutcome outcome = parallelSweep(stream, options, [&](int worker) {
+    return std::make_unique<LatShard>(
+        ctx, arenas[static_cast<std::size_t>(worker)].get());
+  });
   return static_cast<LatShard&>(*outcome.merged).finish();
 }
 

@@ -191,9 +191,10 @@ std::int64_t estimateScriptSpace(const RoundConfig& cfg, RoundModel model,
   if (!configOk(cfg) || options.horizon < 1) return 0;
   const int maxCrashes = std::clamp(options.maxCrashes, 0, cfg.t);
 
-  // Per crashed process: a crash round times a partial-send subset.
+  // Per crashed process: a crash round times a partial-send subset of the
+  // OTHER processes (the enumerator skips the unobservable self bit).
   const std::int64_t perCrasher =
-      satMul(options.horizon, satPow(2, cfg.n));
+      satMul(options.horizon, satPow(2, cfg.n - 1));
   // Per pending slot (RWS only): "not pending" or one lag from the menu.
   const std::int64_t radix =
       model == RoundModel::kRws && !options.pendingLags.empty()

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "explore/parallel_sweep.hpp"
+#include "explore/reduction.hpp"
 #include "lint/lint.hpp"
 #include "util/check.hpp"
 
@@ -51,33 +52,45 @@ struct McContext {
 /// contiguous range of the script stream.  mergeFrom appends the later
 /// range, so violations stay sorted by the canonical run key and the
 /// latency maps reduce commutatively (min/max with kNoRound = infinity).
+///
+/// Runs execute through the worker's RunExecutor arena (pooled engines,
+/// prefix resume, symmetry memo — see explore/reduction.hpp); the shard
+/// only consumes RunSummary values, which are symmetry-invariant, so the
+/// report is bit-identical whether or not reduction is on.  Violations are
+/// the exception: their dumps are NOT invariant, so a violating pair is
+/// re-executed fresh to produce its exact witness.
 class McShard : public SweepShard {
  public:
-  explicit McShard(const McContext& ctx) : ctx_(ctx) {}
+  McShard(const McContext& ctx, RunExecutor* executor)
+      : ctx_(ctx), executor_(executor) {}
 
   void visit(const FailureScript& script, std::int64_t scriptIndex) override {
     const int crashes = script.numCrashes();
     for (std::size_t ci = 0; ci < ctx_.configs.size(); ++ci) {
-      const RoundRunResult run =
-          runRounds(ctx_.cfg, ctx_.model, ctx_.factory, ctx_.configs[ci],
-                    script, ctx_.engineOpt);
+      const RunSummary summary = executor_->run(script, scriptIndex, ci);
       ++report_.runsExecuted;
 
-      UcVerdict verdict = checkUniformConsensus(run);
-      const Round runLatency = run.latency();
-      if (ctx_.options.latencyBound != kNoRound &&
-          (runLatency == kNoRound || runLatency > ctx_.options.latencyBound)) {
-        verdict.withinLatencyBound = false;
-        std::ostringstream os;
-        os << verdict.witness << "[latency-bound] |r|="
-           << (runLatency == kNoRound ? std::string("inf")
-                                      : std::to_string(runLatency))
-           << " exceeds the asserted bound " << ctx_.options.latencyBound
-           << "; ";
-        verdict.witness = os.str();
-      }
-      if (!verdict.ok() && static_cast<int>(report_.violations.size()) <
-                               ctx_.options.maxViolations) {
+      const Round runLatency = summary.latency;
+      const bool boundExceeded =
+          ctx_.options.latencyBound != kNoRound &&
+          (runLatency == kNoRound || runLatency > ctx_.options.latencyBound);
+      if ((!summary.consensusOk || boundExceeded) &&
+          static_cast<int>(report_.violations.size()) <
+              ctx_.options.maxViolations) {
+        const RoundRunResult run =
+            runRounds(ctx_.cfg, ctx_.model, ctx_.factory, ctx_.configs[ci],
+                      script, ctx_.engineOpt);
+        UcVerdict verdict = checkUniformConsensus(run);
+        if (boundExceeded) {
+          verdict.withinLatencyBound = false;
+          std::ostringstream os;
+          os << verdict.witness << "[latency-bound] |r|="
+             << (runLatency == kNoRound ? std::string("inf")
+                                        : std::to_string(runLatency))
+             << " exceeds the asserted bound " << ctx_.options.latencyBound
+             << "; ";
+          verdict.witness = os.str();
+        }
         report_.violations.push_back({scriptIndex, static_cast<int>(ci),
                                       ctx_.configs[ci], script, verdict,
                                       run.toString()});
@@ -137,6 +150,7 @@ class McShard : public SweepShard {
 
  private:
   const McContext& ctx_;
+  RunExecutor* executor_;  ///< the owning worker's arena; visit()-only
   McReport report_;
 };
 
@@ -157,12 +171,35 @@ McReport modelCheckConsensus(const RoundAutomatonFactory& factory,
   // and makes exhaustive sweeps ~2x faster.
   ctx.engineOpt.stopWhenAllDecided = true;
 
+  // One execution arena per worker: engines (with their automata and
+  // buffers) live for the whole sweep, not per chunk.  The memo is shared.
+  std::unique_ptr<SymmetryGroup> group;
+  std::unique_ptr<RunMemo> memo;
+  if (options.reduction == Reduction::kSymmetry) {
+    group = std::make_unique<SymmetryGroup>(cfg.n, options.symmetryFixedIds);
+    memo = std::make_unique<RunMemo>();
+  }
+  std::vector<std::unique_ptr<RunExecutor>> arenas;
+  for (int w = 0; w < resolveThreads(options.threads); ++w)
+    arenas.push_back(std::make_unique<RunExecutor>(
+        cfg, model, factory, ctx.configs, ctx.engineOpt, group.get(),
+        memo.get()));
+
   const ScriptStream stream =
       [&](const std::function<bool(const FailureScript&)>& fn) {
         forEachScript(cfg, model, options.enumeration, fn);
       };
-  SweepOutcome outcome = parallelSweep(
-      stream, options, [&] { return std::make_unique<McShard>(ctx); });
+  SweepOutcome outcome = parallelSweep(stream, options, [&](int worker) {
+    return std::make_unique<McShard>(
+        ctx, arenas[static_cast<std::size_t>(worker)].get());
+  });
+
+  if (options.runStats != nullptr) {
+    SweepRunStats agg;
+    for (const auto& arena : arenas) agg.add(arena->stats());
+    agg.memoEntries = memo != nullptr ? memo->size() : 0;
+    *options.runStats = agg;
+  }
 
   McReport report = static_cast<McShard&>(*outcome.merged).takeReport();
   SSVSP_CHECK(report.scriptsVisited == outcome.scriptsMerged);

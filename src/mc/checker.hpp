@@ -29,6 +29,8 @@
 
 namespace ssvsp {
 
+struct SweepRunStats;  // explore/reduction.hpp
+
 struct McViolation {
   /// Canonical run key: position of the script in the enumeration stream
   /// and of the initial configuration in allInitialConfigs order.  The
@@ -74,6 +76,11 @@ struct McCheckOptions : ExploreSpec {
   /// (UcVerdict::withinLatencyBound) even if the consensus spec holds, so an
   /// exhaustive sweep can prove a derived Lat(A, f).  kNoRound disables it.
   Round latencyBound = kNoRound;
+  /// When set, receives the sweep's execution counters (memo hits, rounds
+  /// resumed, ...).  An out-param rather than a report field on purpose:
+  /// McReport stays bit-identical across reduction modes and thread counts,
+  /// these counters legitimately do not.
+  SweepRunStats* runStats = nullptr;
 };
 
 McReport modelCheckConsensus(const RoundAutomatonFactory& factory,

@@ -33,6 +33,15 @@ std::vector<PendingSlot> pendingSlots(const FailureScript& base,
       }
     }
   }
+  // Latest send round first: the pending odometer below varies slot 0
+  // fastest, so consecutive scripts then diverge as LATE as possible and
+  // the engine's checkpoint chain (rounds/engine.hpp) reuses long prefixes.
+  std::sort(slots.begin(), slots.end(),
+            [](const PendingSlot& a, const PendingSlot& b) {
+              if (a.round != b.round) return a.round > b.round;
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
   return slots;
 }
 
@@ -43,6 +52,17 @@ struct Walker {
   const std::function<bool(const FailureScript&)>* fn;  // null = count only
   std::int64_t visited = 0;
   bool stopped = false;
+
+  /// Validates the options on construction, so countScripts enforces the
+  /// same contract as forEachScript instead of silently walking an
+  /// inadmissible space.
+  Walker(const RoundConfig& cfg_in, RoundModel model_in,
+         const EnumOptions& options_in,
+         const std::function<bool(const FailureScript&)>* fn_in)
+      : cfg(cfg_in), model(model_in), options(options_in), fn(fn_in) {
+    SSVSP_CHECK(options.horizon >= 1);
+    SSVSP_CHECK(options.maxCrashes >= 0 && options.maxCrashes <= cfg.t);
+  }
 
   bool emit(const FailureScript& script) {
     if (options.maxScripts >= 0 && visited >= options.maxScripts) {
@@ -94,17 +114,66 @@ struct Walker {
     return true;
   }
 
-  /// Recursively assigns (round, sendTo) to each process of the crash set.
-  bool assignCrashes(FailureScript& script, const std::vector<ProcessId>& set,
-                     std::size_t idx) {
-    if (idx == set.size()) return emitWithPendings(script);
-    const std::uint64_t fullMask = ProcessSet::full(cfg.n).mask();
-    for (Round r = 1; r <= options.horizon; ++r) {
-      for (std::uint64_t mask = 0;; ++mask) {
-        script.crashes[idx] = {set[idx], r, ProcessSet::fromMask(mask)};
-        if (!assignCrashes(script, set, idx + 1)) return false;
-        if (mask == fullMask) break;
+  /// Enumerates the sendTo masks for a fixed (set, rounds) assignment.
+  ///
+  /// A crasher's mask ranges over subsets of the OTHER processes: the
+  /// self bit is unobservable (a process crashing in round r performs no
+  /// round-r transition, so a message to itself is never consumed) and
+  /// enumerating it only duplicated every script.  The classic submask
+  /// odometer `m = ((m | ~allowed) + 1) & allowed` walks exactly the
+  /// subsets of `allowed`, ascending.
+  ///
+  /// Masks are advanced latest-crash-round-first: consecutive scripts then
+  /// differ only in the latest round of the script, which is what lets the
+  /// engine's checkpoint chain (rounds/engine.hpp) resume runs from deep
+  /// prefixes instead of round 1.
+  bool assignMasks(FailureScript& script, const std::vector<ProcessId>& set,
+                   const std::vector<Round>& rounds) {
+    const std::size_t k = set.size();
+    if (k == 0) return emitWithPendings(script);
+
+    // Crashers ordered by (round, id); the odometer varies the LAST entry
+    // (latest round) fastest.
+    std::vector<std::size_t> order(k);
+    for (std::size_t i = 0; i < k; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (rounds[a] != rounds[b]) return rounds[a] < rounds[b];
+                return set[a] < set[b];
+              });
+
+    const std::uint64_t full = ProcessSet::full(cfg.n).mask();
+    std::vector<std::uint64_t> masks(k, 0);
+    for (std::size_t i = 0; i < k; ++i)
+      script.crashes[i] = {set[i], rounds[i], ProcessSet()};
+    while (true) {
+      if (!emitWithPendings(script)) return false;
+      bool advanced = false;
+      for (std::size_t j = k; j-- > 0;) {
+        const std::size_t i = order[j];
+        const std::uint64_t allowed = full & ~(std::uint64_t{1} << set[i]);
+        if (masks[j] == allowed) {
+          masks[j] = 0;  // carry into the next-earlier crasher
+        } else {
+          masks[j] = ((masks[j] | ~allowed) + 1) & allowed;
+          advanced = true;
+        }
+        script.crashes[i].sendTo = ProcessSet::fromMask(masks[j]);
+        if (advanced) break;
       }
+      if (!advanced) break;
+    }
+    return true;
+  }
+
+  /// Recursively assigns a crash round to each process of the crash set,
+  /// then fans out to the mask odometer.
+  bool assignRounds(FailureScript& script, const std::vector<ProcessId>& set,
+                    std::size_t idx, std::vector<Round>& rounds) {
+    if (idx == set.size()) return assignMasks(script, set, rounds);
+    for (Round r = 1; r <= options.horizon; ++r) {
+      rounds[idx] = r;
+      if (!assignRounds(script, set, idx + 1, rounds)) return false;
     }
     return true;
   }
@@ -114,8 +183,8 @@ struct Walker {
     {
       FailureScript script;
       script.crashes.resize(set.size());
-      std::vector<ProcessId> copy = set;
-      if (!assignCrashes(script, copy, 0)) return false;
+      std::vector<Round> rounds(set.size(), 1);
+      if (!assignRounds(script, set, 0, rounds)) return false;
     }
     if (static_cast<int>(set.size()) >= options.maxCrashes) return true;
     for (ProcessId p = from; p < cfg.n; ++p) {
@@ -132,8 +201,6 @@ struct Walker {
 std::int64_t forEachScript(
     const RoundConfig& cfg, RoundModel model, const EnumOptions& options,
     const std::function<bool(const FailureScript&)>& fn) {
-  SSVSP_CHECK(options.horizon >= 1);
-  SSVSP_CHECK(options.maxCrashes >= 0 && options.maxCrashes <= cfg.t);
   Walker w{cfg, model, options, &fn};
   std::vector<ProcessId> set;
   w.chooseSet(set, 0);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <sstream>
+#include <typeinfo>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -44,61 +46,164 @@ std::string RoundRunResult::toString() const {
   return os.str();
 }
 
-RoundRunResult runRounds(const RoundConfig& cfg, RoundModel model,
-                         const RoundAutomatonFactory& factory,
-                         const std::vector<Value>& initial,
-                         const FailureScript& script,
-                         const RoundEngineOptions& options) {
-  SSVSP_CHECK(cfg.n >= 1 && cfg.n <= kMaxProcs);
-  SSVSP_CHECK(static_cast<int>(initial.size()) == cfg.n);
-  SSVSP_CHECK(options.horizon >= 1);
-  const ScriptValidity validity = validateScript(script, cfg, model);
-  SSVSP_CHECK_MSG(validity.ok, "illegal script: " << validity.reason << " "
-                                                  << script.toString());
+Round divergenceRound(const FailureScript& a, const FailureScript& b) {
+  Round d = kNoRound;
+  const auto consider = [&d](Round r) { d = std::min(d, r); };
 
-  std::vector<std::unique_ptr<RoundAutomaton>> procs;
-  procs.reserve(static_cast<std::size_t>(cfg.n));
-  for (ProcessId p = 0; p < cfg.n; ++p) {
-    procs.push_back(factory(p));
-    SSVSP_CHECK(procs.back() != nullptr);
-    procs.back()->begin(p, cfg, initial[static_cast<std::size_t>(p)]);
-  }
-
-  RoundRunResult result;
-  result.cfg = cfg;
-  result.model = model;
-  result.initial = initial;
-  result.script = script;
-  result.decision.assign(static_cast<std::size_t>(cfg.n), std::nullopt);
-  result.decisionRound.assign(static_cast<std::size_t>(cfg.n), kNoRound);
-
-  struct InFlight {
-    ProcessId src;
-    Round sentRound;
-    Round arrival;  // first round in which it may be received
-    Payload payload;
+  // Crash events: a crash of p in round r first matters in round r (partial
+  // sends in the send phase, no transition in the receive phase), so two
+  // scripts disagreeing on p's crash diverge at the earlier of the two
+  // crash rounds (or at the shared round, if only the sendTo masks differ).
+  const auto crashOf = [](const FailureScript& s,
+                          ProcessId p) -> const CrashEvent* {
+    for (const CrashEvent& c : s.crashes)
+      if (c.p == p) return &c;
+    return nullptr;
   };
-  std::vector<std::vector<InFlight>> inbox(static_cast<std::size_t>(cfg.n));
+  for (const CrashEvent& ca : a.crashes) {
+    const CrashEvent* cb = crashOf(b, ca.p);
+    if (cb == nullptr)
+      consider(ca.round);
+    else if (cb->round != ca.round)
+      consider(std::min(ca.round, cb->round));
+    else if (cb->sendTo != ca.sendTo)
+      consider(ca.round);
+  }
+  for (const CrashEvent& cb : b.crashes)
+    if (crashOf(a, cb.p) == nullptr) consider(cb.round);
 
-  auto crashRound = [&](ProcessId p) { return script.crashRound(p); };
+  // Pending choices: conservative — any disagreement (presence or arrival)
+  // diverges the inbox STATE from the send round on, even when deliveries
+  // first differ later, so the send round is the divergence point.
+  for (const PendingChoice& pa : a.pendings) {
+    const PendingChoice* pb = b.pendingFor(pa.src, pa.dst, pa.round);
+    if (pb == nullptr || pb->arrival != pa.arrival) consider(pa.round);
+  }
+  for (const PendingChoice& pb : b.pendings)
+    if (a.pendingFor(pb.src, pb.dst, pb.round) == nullptr) consider(pb.round);
 
-  for (Round r = 1; r <= options.horizon; ++r) {
-    result.roundsExecuted = r;
-    result.sentPerRound.push_back(0);
+  return d;
+}
+
+RoundEngine::RoundEngine(const RoundConfig& cfg, RoundModel model,
+                         RoundAutomatonFactory factory,
+                         const RoundEngineOptions& options)
+    : cfg_(cfg),
+      model_(model),
+      factory_(std::move(factory)),
+      options_(options) {
+  SSVSP_CHECK(cfg_.n >= 1 && cfg_.n <= kMaxProcs);
+  SSVSP_CHECK(options_.horizon >= 1);
+  SSVSP_CHECK(factory_ != nullptr);
+  inbox_.resize(static_cast<std::size_t>(cfg_.n));
+}
+
+void RoundEngine::beginFresh(const std::vector<Value>& initial) {
+  if (procs_.empty()) {
+    procs_.reserve(static_cast<std::size_t>(cfg_.n));
+    for (ProcessId p = 0; p < cfg_.n; ++p) {
+      procs_.push_back(factory_(p));
+      SSVSP_CHECK(procs_.back() != nullptr);
+    }
+  }
+  for (ProcessId p = 0; p < cfg_.n; ++p)
+    procs_[static_cast<std::size_t>(p)]->begin(
+        p, cfg_, initial[static_cast<std::size_t>(p)]);
+  if (!probed_) {
+    // Checkpointing needs every automaton to opt into clone(); tracing
+    // would need deliveries snapshotted too, so it disables the chain.
+    // The typeid check catches a subclass that INHERITS its base's clone():
+    // such a clone would be a sliced copy with the base's behaviour, so we
+    // must fall back to plain execution rather than resume from it.
+    probed_ = true;
+    checkpointing_ = !options_.traceDeliveries;
+    for (const auto& a : procs_) {
+      const std::unique_ptr<RoundAutomaton> c = a->clone();
+      if (c == nullptr || typeid(*c) != typeid(*a)) {
+        checkpointing_ = false;
+        break;
+      }
+    }
+  }
+  for (auto& box : inbox_) box.clear();
+
+  result_.cfg = cfg_;
+  result_.model = model_;
+  result_.initial = initial;
+  result_.roundsExecuted = 0;
+  result_.decision.assign(static_cast<std::size_t>(cfg_.n), std::nullopt);
+  result_.decisionRound.assign(static_cast<std::size_t>(cfg_.n), kNoRound);
+  result_.deliveries.clear();
+  result_.sentPerRound.clear();
+  result_.peakPendingInFlight = 0;
+  result_.faulty = ProcessSet();
+  result_.correct = ProcessSet();
+  result_.automata.clear();
+}
+
+std::unique_ptr<RoundCheckpoint> RoundEngine::snapshot() const {
+  auto cp = std::make_unique<RoundCheckpoint>();
+  cp->round = result_.roundsExecuted;
+  cp->automata.reserve(procs_.size());
+  for (const auto& a : procs_) {
+    cp->automata.push_back(a->clone());
+    SSVSP_CHECK(cp->automata.back() != nullptr);
+  }
+  cp->inbox = inbox_;
+  cp->decision = result_.decision;
+  cp->decisionRound = result_.decisionRound;
+  cp->sentPerRound = result_.sentPerRound;
+  cp->peakPendingInFlight = result_.peakPendingInFlight;
+  return cp;
+}
+
+void RoundEngine::restore(const RoundCheckpoint& cp) {
+  SSVSP_CHECK(cp.automata.size() == static_cast<std::size_t>(cfg_.n));
+  procs_.resize(cp.automata.size());
+  for (std::size_t i = 0; i < cp.automata.size(); ++i) {
+    procs_[i] = cp.automata[i]->clone();
+    SSVSP_CHECK(procs_[i] != nullptr);
+  }
+  inbox_ = cp.inbox;
+  result_.roundsExecuted = cp.round;
+  result_.decision = cp.decision;
+  result_.decisionRound = cp.decisionRound;
+  result_.sentPerRound = cp.sentPerRound;
+  result_.peakPendingInFlight = cp.peakPendingInFlight;
+  result_.deliveries.clear();
+  result_.automata.clear();
+}
+
+void RoundEngine::runFrom(Round firstRound, const FailureScript& script) {
+  lastStopped_ = false;
+  const auto crashRound = [&script](ProcessId p) {
+    return script.crashRound(p);
+  };
+
+  for (Round r = firstRound; r <= options_.horizon; ++r) {
+    // Snapshot the END of the previous round lazily: the final executed
+    // round never needs one (a script diverging after it reuses the whole
+    // run), and this way we never find out too late that we cloned for
+    // nothing.
+    if (checkpointing_ && r > firstRound) chain_.push_back(snapshot());
+
+    result_.roundsExecuted = r;
+    result_.sentPerRound.push_back(0);
+    ++stats_.roundsExecuted;
 
     // ---- send phase (msgs_i applied to the pre-round states) ----
-    for (ProcessId p = 0; p < cfg.n; ++p) {
+    for (ProcessId p = 0; p < cfg_.n; ++p) {
       const Round cr = crashRound(p);
       if (cr < r) continue;  // already crashed: sends nothing
       const bool crashingNow = (cr == r);
-      const ProcessSet sendTo = script.sendSubset(p, cfg.n);
-      for (ProcessId dst = 0; dst < cfg.n; ++dst) {
+      const ProcessSet sendTo = script.sendSubset(p, cfg_.n);
+      for (ProcessId dst = 0; dst < cfg_.n; ++dst) {
         std::optional<Payload> msg =
-            procs[static_cast<std::size_t>(p)]->messageFor(dst);
+            procs_[static_cast<std::size_t>(p)]->messageFor(dst);
         if (!msg.has_value()) continue;
         if (crashingNow && !sendTo.contains(dst)) continue;  // never sent
-        ++result.sentPerRound.back();
-        InFlight f;
+        ++result_.sentPerRound.back();
+        InFlightMsg f;
         f.src = p;
         f.sentRound = r;
         f.arrival = r;
@@ -107,26 +212,25 @@ RoundRunResult runRounds(const RoundConfig& cfg, RoundModel model,
           f.arrival = pc->arrival;
         }
         f.payload = std::move(*msg);
-        inbox[static_cast<std::size_t>(dst)].push_back(std::move(f));
+        inbox_[static_cast<std::size_t>(dst)].push_back(std::move(f));
       }
     }
 
     // ---- receive + transition phase ----
-    for (ProcessId p = 0; p < cfg.n; ++p) {
+    for (ProcessId p = 0; p < cfg_.n; ++p) {
       const Round cr = crashRound(p);
       if (cr <= r) {
         // Crashed during (or before) this round: performs no transition and
         // will never consume its inbox again.
-        inbox[static_cast<std::size_t>(p)].clear();
+        inbox_[static_cast<std::size_t>(p)].clear();
         continue;
       }
-      auto& box = inbox[static_cast<std::size_t>(p)];
+      auto& box = inbox_[static_cast<std::size_t>(p)];
       // FIFO per sender: among deliverable messages (arrival <= r) pick the
       // oldest per sender; the rest stay for later rounds.
-      std::vector<std::optional<Payload>> received(
-          static_cast<std::size_t>(cfg.n));
-      std::vector<std::size_t> taken;
-      for (ProcessId src = 0; src < cfg.n; ++src) {
+      receivedScratch_.assign(static_cast<std::size_t>(cfg_.n), std::nullopt);
+      takenScratch_.clear();
+      for (ProcessId src = 0; src < cfg_.n; ++src) {
         std::size_t best = box.size();
         for (std::size_t i = 0; i < box.size(); ++i) {
           if (box[i].src != src || box[i].arrival > r) continue;
@@ -134,34 +238,35 @@ RoundRunResult runRounds(const RoundConfig& cfg, RoundModel model,
             best = i;
         }
         if (best == box.size()) continue;
-        received[static_cast<std::size_t>(src)] = box[best].payload;
-        taken.push_back(best);
-        if (options.traceDeliveries) {
+        if (options_.traceDeliveries) {
           RoundDelivery d;
           d.deliveredRound = r;
           d.sentRound = box[best].sentRound;
           d.src = src;
           d.dst = p;
           d.payload = box[best].payload;
-          result.deliveries.push_back(std::move(d));
+          result_.deliveries.push_back(std::move(d));
         }
+        receivedScratch_[static_cast<std::size_t>(src)] =
+            std::move(box[best].payload);
+        takenScratch_.push_back(best);
       }
-      std::sort(taken.begin(), taken.end());
-      for (auto it = taken.rbegin(); it != taken.rend(); ++it)
+      std::sort(takenScratch_.begin(), takenScratch_.end());
+      for (auto it = takenScratch_.rbegin(); it != takenScratch_.rend(); ++it)
         box.erase(box.begin() + static_cast<std::ptrdiff_t>(*it));
 
-      procs[static_cast<std::size_t>(p)]->transition(received);
+      procs_[static_cast<std::size_t>(p)]->transition(receivedScratch_);
 
       const std::optional<Value> d =
-          procs[static_cast<std::size_t>(p)]->decision();
-      auto& slot = result.decision[static_cast<std::size_t>(p)];
+          procs_[static_cast<std::size_t>(p)]->decision();
+      auto& slot = result_.decision[static_cast<std::size_t>(p)];
       if (d.has_value()) {
         if (slot.has_value()) {
           SSVSP_CHECK_MSG(*slot == *d, "p" << p << " changed its decision from "
                                            << *slot << " to " << *d);
         } else {
           slot = d;
-          result.decisionRound[static_cast<std::size_t>(p)] = r;
+          result_.decisionRound[static_cast<std::size_t>(p)] = r;
         }
       } else {
         SSVSP_CHECK_MSG(!slot.has_value(), "p" << p << " revoked its decision");
@@ -169,28 +274,122 @@ RoundRunResult runRounds(const RoundConfig& cfg, RoundModel model,
     }
 
     int inFlight = 0;
-    for (const auto& box : inbox) inFlight += static_cast<int>(box.size());
-    result.peakPendingInFlight = std::max(result.peakPendingInFlight, inFlight);
+    for (const auto& box : inbox_) inFlight += static_cast<int>(box.size());
+    result_.peakPendingInFlight =
+        std::max(result_.peakPendingInFlight, inFlight);
 
-    if (options.stopWhenAllDecided) {
+    if (options_.stopWhenAllDecided) {
       bool allDone = true;
-      for (ProcessId p = 0; p < cfg.n; ++p) {
+      for (ProcessId p = 0; p < cfg_.n; ++p) {
         if (crashRound(p) <= r) continue;
-        if (!result.decision[static_cast<std::size_t>(p)].has_value()) {
+        if (!result_.decision[static_cast<std::size_t>(p)].has_value()) {
           allDone = false;
           break;
         }
       }
       // Keep executing while pending messages could still surface and change
       // nothing — decisions are final, so stopping is safe.
-      if (allDone) break;
+      if (allDone) {
+        lastStopped_ = true;
+        break;
+      }
+    }
+  }
+}
+
+void RoundEngine::finish(const FailureScript& script) {
+  result_.script = script;
+  result_.faulty = script.faultyWithin(options_.horizon, cfg_.n);
+  result_.correct = ProcessSet::full(cfg_.n) - result_.faulty;
+  resultValid_ = true;
+}
+
+void RoundEngine::execute(const std::vector<Value>& initial,
+                          const FailureScript& script) {
+  SSVSP_CHECK(static_cast<int>(initial.size()) == cfg_.n);
+  const ScriptValidity validity = validateScript(script, cfg_, model_);
+  SSVSP_CHECK_MSG(validity.ok, "illegal script: " << validity.reason << " "
+                                                  << script.toString());
+
+  if (checkpointing_ && resultValid_ && initial == result_.initial) {
+    const Round d = divergenceRound(result_.script, script);
+    const Round executed = result_.roundsExecuted;
+    const Round reusable = d == kNoRound ? executed : d - 1;
+    if (reusable >= executed) {
+      // Every executed round of the previous run is also a round of this
+      // one, and that run already terminated (at the horizon, or at an
+      // early stop whose all-decided condition depends only on events of
+      // rounds <= `executed` — identical under both scripts).  Only the
+      // script-derived fields change.
+      stats_.roundsResumed += executed;
+      ++stats_.runsReused;
+      finish(script);
+      return;
+    }
+    const Round q = std::min<Round>(reusable,
+                                    static_cast<Round>(chain_.size()));
+    if (q >= 1) {
+      restore(*chain_[static_cast<std::size_t>(q) - 1]);
+      chain_.resize(static_cast<std::size_t>(q));
+      stats_.roundsResumed += q;
+      runFrom(q + 1, script);
+      finish(script);
+      ++stats_.runsExecuted;
+      return;
     }
   }
 
-  result.faulty = script.faultyWithin(options.horizon, cfg.n);
-  result.correct = ProcessSet::full(cfg.n) - result.faulty;
-  result.automata = std::move(procs);
-  return result;
+  beginFresh(initial);
+  chain_.clear();
+  runFrom(1, script);
+  finish(script);
+  ++stats_.runsExecuted;
+}
+
+const RoundCheckpoint* RoundEngine::snapshotAt(Round r) const {
+  if (r < 1 || static_cast<std::size_t>(r) > chain_.size()) return nullptr;
+  return chain_[static_cast<std::size_t>(r) - 1].get();
+}
+
+void RoundEngine::resumeFrom(const RoundCheckpoint& cp,
+                             const FailureScript& script) {
+  SSVSP_CHECK(resultValid_);
+  SSVSP_CHECK(cp.round >= 1);
+  const ScriptValidity validity = validateScript(script, cfg_, model_);
+  SSVSP_CHECK_MSG(validity.ok, "illegal script: " << validity.reason << " "
+                                                  << script.toString());
+  restore(cp);
+  // Drop stale snapshots past the resume point.  `cp` itself survives:
+  // resize() only destroys entries past the new size, and cp.round <= size.
+  if (static_cast<std::size_t>(cp.round) <= chain_.size())
+    chain_.resize(static_cast<std::size_t>(cp.round));
+  stats_.roundsResumed += cp.round;
+  runFrom(cp.round + 1, script);
+  finish(script);
+  ++stats_.runsExecuted;
+}
+
+RoundRunResult RoundEngine::takeResult() {
+  SSVSP_CHECK(resultValid_);
+  RoundRunResult out = std::move(result_);
+  out.automata = std::move(procs_);
+  procs_.clear();
+  result_ = RoundRunResult();
+  resultValid_ = false;
+  probed_ = false;
+  checkpointing_ = false;
+  chain_.clear();
+  return out;
+}
+
+RoundRunResult runRounds(const RoundConfig& cfg, RoundModel model,
+                         const RoundAutomatonFactory& factory,
+                         const std::vector<Value>& initial,
+                         const FailureScript& script,
+                         const RoundEngineOptions& options) {
+  RoundEngine engine(cfg, model, factory, options);
+  engine.execute(initial, script);
+  return engine.takeResult();
 }
 
 }  // namespace ssvsp

@@ -89,9 +89,129 @@ struct RoundEngineOptions {
   bool stopWhenAllDecided = true;  ///< stop early once every alive process decided
 };
 
+/// One sent-but-undelivered message sitting in a receiver's inbox.
+struct InFlightMsg {
+  ProcessId src = kNoProcess;
+  Round sentRound = 0;
+  Round arrival = 0;  ///< first round in which it may be received
+  Payload payload;
+};
+
+/// A deep snapshot of a run's state at the END of some round: the automata
+/// (via RoundAutomaton::clone), the in-flight inboxes, and the partial
+/// result accumulated so far.  Produced by RoundEngine while a run executes
+/// and consumed by RoundEngine::resumeFrom, so a later run whose script
+/// agrees with the snapshotted one on every event of rounds <= `round` can
+/// skip re-executing that prefix.  Move-only (owns automaton clones).
+struct RoundCheckpoint {
+  Round round = 0;  ///< state captured at the end of this round
+  std::vector<std::unique_ptr<RoundAutomaton>> automata;
+  std::vector<std::vector<InFlightMsg>> inbox;
+  std::vector<std::optional<Value>> decision;
+  std::vector<Round> decisionRound;
+  std::vector<std::int64_t> sentPerRound;
+  int peakPendingInFlight = 0;
+};
+
+/// First round at which executing `a` and `b` may differ — the earliest
+/// round where the two scripts disagree on a crash event or on a pending
+/// choice (a pending disagreement counts from its SEND round: the in-flight
+/// inbox state differs from there on, even if deliveries only diverge
+/// later).  kNoRound if the scripts describe the same adversary.
+Round divergenceRound(const FailureScript& a, const FailureScript& b);
+
+/// The round engine as a stateful, pooled object.  One engine executes many
+/// runs of the same (cfg, model, factory, options) — typically one engine
+/// per initial configuration inside a sweep shard — and reuses its automata
+/// (via begin(), see the reset contract in round_automaton.hpp), inboxes and
+/// result buffers across runs instead of allocating per run.
+///
+/// When the factory's automata support clone(), the engine additionally
+/// keeps a checkpoint chain for the most recent run and resumes the next
+/// run from the deepest checkpoint before divergenceRound(previous script,
+/// next script).  Scripts arriving in an order where consecutive scripts
+/// share long crash prefixes (the enumerator's lexicographic-by-divergence
+/// order) then skip most of their rounds.  Results are bit-identical to
+/// fresh execution by construction: a resumed run continues from a deep
+/// copy of exactly the state a fresh run would have reached.
+class RoundEngine {
+ public:
+  /// Throws InvariantViolation on an inadmissible cfg or horizon < 1.
+  RoundEngine(const RoundConfig& cfg, RoundModel model,
+              RoundAutomatonFactory factory,
+              const RoundEngineOptions& options);
+
+  /// Executes one full run, exactly like the free runRounds(), reusing
+  /// pooled state — and the previous run's checkpoints where the scripts
+  /// agree.  Throws InvariantViolation for illegal scripts and decision-
+  /// integrity violations.  The outcome is available via result().
+  void execute(const std::vector<Value>& initial, const FailureScript& script);
+
+  /// The checkpoint at the end of round r from the current chain, or
+  /// nullptr (no run yet, cloning unsupported, or r outside the chain —
+  /// the final executed round is never snapshotted: a run diverging after
+  /// it is fully reusable without one).
+  const RoundCheckpoint* snapshotAt(Round r) const;
+
+  /// Re-runs from `cp`, which must belong to this engine's current chain
+  /// (i.e. come from snapshotAt() after the last execute), under a script
+  /// that agrees with the previous one on every event of rounds <=
+  /// cp.round.  execute() calls this automatically; it is public so tests
+  /// can exercise the checkpoint contract directly.
+  void resumeFrom(const RoundCheckpoint& cp, const FailureScript& script);
+
+  /// The last run's outcome.  `automata` is left empty (the engine keeps
+  /// them pooled); everything else matches the free runRounds() exactly.
+  const RoundRunResult& result() const { return result_; }
+
+  /// Moves the result out, including the pooled automata in their final
+  /// states (the free runRounds() contract).  The engine afterwards starts
+  /// from scratch on the next execute().
+  RoundRunResult takeResult();
+
+  /// Counters for the perf-facing layers (bench_sweep_reduction).
+  struct Stats {
+    std::int64_t runsExecuted = 0;  ///< execute() calls that ran >= 1 round
+    std::int64_t runsReused = 0;    ///< fully served by the previous run
+    std::int64_t roundsExecuted = 0;
+    std::int64_t roundsResumed = 0;  ///< rounds skipped via checkpoints
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void beginFresh(const std::vector<Value>& initial);
+  void restore(const RoundCheckpoint& cp);
+  void runFrom(Round firstRound, const FailureScript& script);
+  void finish(const FailureScript& script);
+  std::unique_ptr<RoundCheckpoint> snapshot() const;
+
+  RoundConfig cfg_;
+  RoundModel model_;
+  RoundAutomatonFactory factory_;
+  RoundEngineOptions options_;
+
+  std::vector<std::unique_ptr<RoundAutomaton>> procs_;  ///< pooled instances
+  std::vector<std::vector<InFlightMsg>> inbox_;
+  std::vector<std::optional<Payload>> receivedScratch_;
+  std::vector<std::size_t> takenScratch_;
+  RoundRunResult result_;
+  bool resultValid_ = false;
+
+  bool checkpointing_ = false;  ///< automata cloneable and no tracing
+  bool probed_ = false;         ///< clone support probed on the first run
+  /// chain_[r - 1] = end-of-round-r state of the last run, rounds
+  /// 1 .. roundsExecuted - 1 (the final round needs no snapshot).
+  std::vector<std::unique_ptr<RoundCheckpoint>> chain_;
+  bool lastStopped_ = false;  ///< last run broke early (stopWhenAllDecided)
+
+  Stats stats_;
+};
+
 /// Executes one run.  Throws InvariantViolation if the script is not a legal
 /// adversary for the model (see validateScript) or if an automaton violates
-/// decision integrity (changes a made decision).
+/// decision integrity (changes a made decision).  Equivalent to a
+/// RoundEngine used once; sweep hot paths hold engines instead so automata
+/// and buffers are pooled across runs.
 RoundRunResult runRounds(const RoundConfig& cfg, RoundModel model,
                          const RoundAutomatonFactory& factory,
                          const std::vector<Value>& initial,

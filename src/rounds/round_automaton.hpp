@@ -33,7 +33,30 @@ class RoundAutomaton {
   virtual ~RoundAutomaton() = default;
 
   /// Installs the initial state (paper: "initially ..." clauses).
+  ///
+  /// Reset contract: begin() must FULLY reinitialize the automaton — no
+  /// state may survive from a previous run.  The round engine pools
+  /// automaton instances across runs (one begin() per run instead of one
+  /// heap allocation per process per run), so an automaton that only
+  /// partially resets would leak state between adversary scripts and
+  /// silently corrupt exhaustive sweeps.
   virtual void begin(ProcessId self, const RoundConfig& cfg, Value initial) = 0;
+
+  /// Deep copy of the current state, or nullptr if the automaton does not
+  /// support cloning.  A non-null clone must be behaviorally identical to
+  /// the original: resuming a run from cloned automata must produce the
+  /// same messages, transitions and decisions as continuing the original
+  /// run (the checkpoint/resume machinery of RoundEngine depends on it; see
+  /// DESIGN.md §10).  Automata whose state is plain data implement this as
+  /// `return std::make_unique<Self>(*this);`.  The default opts out, which
+  /// disables prefix-resume (every run then executes from round 1) but
+  /// keeps every other engine feature working.
+  ///
+  /// Subclasses that add state MUST re-override this (and begin()): an
+  /// inherited clone() would return a sliced copy of the base.  The engine
+  /// detects that case (the clone's dynamic type differs) and falls back to
+  /// plain execution instead of resuming from the wrong automaton.
+  virtual std::unique_ptr<RoundAutomaton> clone() const { return nullptr; }
 
   /// msgs_i: the message this process sends to `dst` in the current round;
   /// nullopt encodes the null message.  Called once per destination per

@@ -103,7 +103,9 @@ TEST(UrbExhaustive, RsRuleCorrectInRs) {
                       << v.witness << "\n" << script.toString();
                   return !::testing::Test::HasFailure();
                 });
-  EXPECT_GT(runs, 1000);
+  // 1 failure-free + 3*4*4 single-crash + 3*16*16 double-crash scripts
+  // (sendTo masks exclude the crasher itself).
+  EXPECT_EQ(runs, 817);
 }
 
 TEST(UrbExhaustive, RwsRuleCorrectInRws) {

@@ -16,6 +16,7 @@
 #include "consensus/floodset.hpp"
 #include "consensus/registry.hpp"
 #include "mc/checker.hpp"
+#include "util/check.hpp"
 
 namespace ssvsp {
 namespace {
@@ -51,11 +52,35 @@ TEST(EnumeratorBasics, CountsFailureFreeOnly) {
 }
 
 TEST(EnumeratorBasics, SingleCrashSpaceSize) {
-  // 3 processes x 3 rounds x 2^3 subsets + the failure-free script.
+  // 3 crashers x 3 rounds x 2^2 sendTo subsets (subsets of the OTHER two
+  // processes: the self bit is unobservable) + the failure-free script.
   EnumOptions o;
   o.horizon = 3;
   o.maxCrashes = 1;
-  EXPECT_EQ(countScripts(cfgOf(3, 1), RoundModel::kRs, o), 1 + 3 * 3 * 8);
+  EXPECT_EQ(countScripts(cfgOf(3, 1), RoundModel::kRs, o), 1 + 3 * 3 * 4);
+}
+
+TEST(EnumeratorBasics, CrasherSendToNeverContainsSelf) {
+  EnumOptions o;
+  o.horizon = 2;
+  o.maxCrashes = 2;
+  const auto cfg = cfgOf(4, 2);
+  forEachScript(cfg, RoundModel::kRs, o, [](const FailureScript& s) {
+    for (const CrashEvent& c : s.crashes)
+      EXPECT_FALSE(c.sendTo.contains(c.p)) << s.toString();
+    return true;
+  });
+}
+
+TEST(EnumeratorBasics, CountScriptsValidatesOptions) {
+  EnumOptions o;
+  o.horizon = 0;  // inadmissible
+  EXPECT_THROW(countScripts(cfgOf(3, 1), RoundModel::kRs, o),
+               InvariantViolation);
+  o.horizon = 3;
+  o.maxCrashes = 2;  // > t
+  EXPECT_THROW(countScripts(cfgOf(3, 1), RoundModel::kRs, o),
+               InvariantViolation);
 }
 
 TEST(EnumeratorBasics, EveryEmittedScriptIsLegal) {
@@ -97,6 +122,17 @@ TEST(EnumeratorBasics, AllInitialConfigs) {
 class NaiveEarlyFloodSet : public FloodSet {
  public:
   NaiveEarlyFloodSet() : FloodSet(false) {}
+  // The engine pools automata across runs (begin() must fully reset) and
+  // resumes from clones (clone() must preserve the dynamic type), so a
+  // subclass with extra state has to override both.
+  void begin(ProcessId self, const RoundConfig& cfg, Value initial) override {
+    FloodSet::begin(self, cfg, initial);
+    hasPrev_ = false;
+    prevHeard_ = ProcessSet();
+  }
+  std::unique_ptr<RoundAutomaton> clone() const override {
+    return std::make_unique<NaiveEarlyFloodSet>(*this);
+  }
   void transition(
       const std::vector<std::optional<Payload>>& received) override {
     ++rounds_;
@@ -120,7 +156,8 @@ TEST(ExhaustiveRs, FloodSetCorrectN3T1) {
                                      rsOptions(1));
   EXPECT_TRUE(r.ok()) << r.violations.front().verdict.witness << "\n"
                       << r.violations.front().runDump;
-  EXPECT_GT(r.runsExecuted, 500);
+  // (1 + 3 crashers x 3 rounds x 2^2 sendTo subsets) scripts x 2^3 configs.
+  EXPECT_EQ(r.runsExecuted, 37 * 8);
 }
 
 TEST(ExhaustiveRs, FloodSetCorrectN4T2) {
