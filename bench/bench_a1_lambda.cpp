@@ -121,6 +121,7 @@ BENCHMARK(timeA1Run)->Arg(4)->Arg(16)->Arg(64);
 
 int main(int argc, char** argv) {
   const int threads = ssvsp::bench::parseThreads(&argc, argv);
+  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
     ssvsp::lambdaTable(threads);
       }))

@@ -166,6 +166,7 @@ BENCHMARK(timeRotatingRun)->Arg(3)->Arg(5)->Arg(9);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
+  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
     ssvsp::table();
       }))

@@ -131,6 +131,7 @@ BENCHMARK(timeUrbRun)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
+  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
     ssvsp::latencyTable();
     ssvsp::correctnessTable();

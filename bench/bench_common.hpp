@@ -17,6 +17,7 @@
 
 #include "explore/spec.hpp"
 #include "lint/diagnostic.hpp"
+#include "obs/artifacts.hpp"
 #include "util/table.hpp"
 #include "util/types.hpp"
 
@@ -64,6 +65,38 @@ inline int parseThreads(int* argc, char** argv, int fallback = 0) {
   *argc = w;
   return threads;
 }
+
+/// RAII wrapper around obs::ArtifactSession for bench mains: strips the
+/// --trace-out= / --metrics-out= / --progress= flags from argv (so the rest
+/// can go to google-benchmark untouched), starts the trace session, and
+/// writes the artifacts when the bench exits.
+///
+///   int main(int argc, char** argv) {
+///     const int threads = ssvsp::bench::parseThreads(&argc, argv);
+///     ssvsp::bench::ObsArtifacts obs(&argc, argv);
+///     ...
+///   }
+class ObsArtifacts {
+ public:
+  ObsArtifacts(int* argc, char** argv) {
+    int w = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (session_.parseArg(argv[i])) continue;
+      argv[w++] = argv[i];
+    }
+    *argc = w;
+    session_.begin();
+  }
+  ~ObsArtifacts() { session_.finish(std::cerr); }
+  ObsArtifacts(const ObsArtifacts&) = delete;
+  ObsArtifacts& operator=(const ObsArtifacts&) = delete;
+
+  /// Forward to ExploreSpec::progressIntervalSec (-1 = env default).
+  double progressSec() const { return session_.progressSec(); }
+
+ private:
+  obs::ArtifactSession session_;
+};
 
 /// Wall-clock of one sweep invocation, in seconds.
 template <typename Fn>

@@ -183,6 +183,7 @@ BENCHMARK(timeRsEmulatedRound)->Arg(3)->Arg(6)->Arg(12);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
+  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
     ssvsp::costTable();
     ssvsp::rsEndToEnd();

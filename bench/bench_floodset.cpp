@@ -112,6 +112,7 @@ BENCHMARK(timeFloodSetRun)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
 
 int main(int argc, char** argv) {
   const int threads = ssvsp::bench::parseThreads(&argc, argv);
+  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
     ssvsp::sweepTable(threads);
       }))

@@ -92,6 +92,7 @@ BENCHMARK(timeFOptRun)->Arg(4)->Arg(16)->Arg(64);
 
 int main(int argc, char** argv) {
   const int threads = ssvsp::bench::parseThreads(&argc, argv);
+  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
     ssvsp::latMaxTable(threads);
       }))

@@ -71,6 +71,7 @@ BENCHMARK(timeLatencyProfile);
 
 int main(int argc, char** argv) {
   const int threads = ssvsp::bench::parseThreads(&argc, argv);
+  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
     ssvsp::latTable(threads);
       }))

@@ -123,6 +123,7 @@ BENCHMARK(timeSddSsRun);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
+  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
     ssvsp::ssTable();
     ssvsp::spTable();

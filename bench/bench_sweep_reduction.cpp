@@ -33,6 +33,7 @@
 #include "explore/reduction.hpp"
 #include "mc/checker.hpp"
 #include "rounds/spec.hpp"
+#include "util/serde.hpp"
 
 namespace ssvsp {
 namespace {
@@ -196,66 +197,69 @@ void printTable(const std::vector<CellResult>& results) {
 
 void writeJson(const std::vector<CellResult>& results, int threads,
                bool smoke, const std::string& path) {
-  std::ostringstream os;
-  os.precision(6);
-  os << "{\n"
-     << "  \"bench\": \"sweep_reduction\",\n"
-     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
-     << "  \"threads\": " << threads << ",\n"
-     << "  \"peak_rss_kb\": " << peakRssKb() << ",\n"
-     << "  \"cells\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const CellResult& r = results[i];
-    os << "    {\n"
-       << "      \"name\": \"" << r.cell.name << "\",\n"
-       << "      \"algorithm\": \"" << r.cell.algo << "\",\n"
-       << "      \"n\": " << r.cell.n << ",\n"
-       << "      \"t\": " << r.cell.t << ",\n"
-       << "      \"model\": \"" << toString(r.cell.model) << "\",\n"
-       << "      \"max_scripts\": " << r.cell.maxScripts << ",\n"
-       << "      \"scripts\": " << r.scripts << ",\n"
-       << "      \"runs\": " << r.runs << ",\n"
-       << "      \"identical_reports\": "
-       << (r.identicalReports ? "true" : "false") << ",\n"
-       << "      \"legacy\": {\"wall_s\": " << r.legacySecs
-       << ", \"scripts_per_s\": "
-       << (r.legacySecs > 0 ? static_cast<double>(r.scripts) / r.legacySecs
-                            : 0)
-       << ", \"runs_per_s\": "
-       << (r.legacySecs > 0 ? static_cast<double>(r.runs) / r.legacySecs : 0)
-       << "},\n"
-       << "      \"pooled\": {\"wall_s\": " << r.pooledSecs
-       << ", \"runs_per_s\": "
-       << (r.pooledSecs > 0 ? static_cast<double>(r.runs) / r.pooledSecs : 0)
-       << ", \"speedup_vs_legacy\": " << r.speedupPooled() << "},\n"
-       << "      \"reduced\": {\"wall_s\": " << r.reducedSecs
-       << ", \"runs_per_s\": "
-       << (r.reducedSecs > 0 ? static_cast<double>(r.runs) / r.reducedSecs
-                             : 0)
-       << ", \"speedup_vs_legacy\": " << r.speedupReduced()
-       << ", \"speedup_vs_pooled\": " << r.speedupReducedVsPooled()
-       << ", \"reduction_factor\": " << r.reductionFactor()
-       << ", \"runs_requested\": " << r.stats.runsRequested
-       << ", \"runs_from_memo\": " << r.stats.runsFromMemo
-       << ", \"runs_executed\": " << r.stats.runsExecuted
-       << ", \"runs_reused_in_engine\": " << r.stats.runsReusedInEngine
-       << ", \"rounds_executed\": " << r.stats.roundsExecuted
-       << ", \"rounds_resumed\": " << r.stats.roundsResumed
-       << ", \"memo_entries\": " << r.stats.memoEntries << "}";
-    if (r.cell.requiredSpeedupVsLegacy > 0) {
-      os << ",\n      \"acceptance\": {\"required_speedup_vs_legacy\": "
-         << r.cell.requiredSpeedupVsLegacy
-         << ", \"measured\": " << r.speedupReduced() << ", \"pass\": "
-         << (r.speedupReduced() >= r.cell.requiredSpeedupVsLegacy ? "true"
-                                                                  : "false")
-         << "}";
-    }
-    os << "\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
-  }
-  os << "  ]\n}\n";
+  const auto perSec = [](std::int64_t count, double secs) {
+    return secs > 0 ? static_cast<double>(count) / secs : 0.0;
+  };
 
   std::ofstream out(path);
-  out << os.str();
+  JsonWriter w(out, 2);
+  w.beginObject();
+  w.kv("bench", "sweep_reduction");
+  w.kv("smoke", smoke);
+  w.kv("threads", threads);
+  w.kv("peak_rss_kb", static_cast<std::int64_t>(peakRssKb()));
+  w.key("cells").beginArray();
+  for (const CellResult& r : results) {
+    w.beginObject();
+    w.kv("name", r.cell.name);
+    w.kv("algorithm", r.cell.algo);
+    w.kv("n", r.cell.n);
+    w.kv("t", r.cell.t);
+    w.kv("model", toString(r.cell.model));
+    w.kv("max_scripts", r.cell.maxScripts);
+    w.kv("scripts", r.scripts);
+    w.kv("runs", r.runs);
+    w.kv("identical_reports", r.identicalReports);
+
+    w.key("legacy").beginObject();
+    w.kv("wall_s", r.legacySecs);
+    w.kv("scripts_per_s", perSec(r.scripts, r.legacySecs));
+    w.kv("runs_per_s", perSec(r.runs, r.legacySecs));
+    w.endObject();
+
+    w.key("pooled").beginObject();
+    w.kv("wall_s", r.pooledSecs);
+    w.kv("runs_per_s", perSec(r.runs, r.pooledSecs));
+    w.kv("speedup_vs_legacy", r.speedupPooled());
+    w.endObject();
+
+    w.key("reduced").beginObject();
+    w.kv("wall_s", r.reducedSecs);
+    w.kv("runs_per_s", perSec(r.runs, r.reducedSecs));
+    w.kv("speedup_vs_legacy", r.speedupReduced());
+    w.kv("speedup_vs_pooled", r.speedupReducedVsPooled());
+    w.kv("reduction_factor", r.reductionFactor());
+    w.kv("runs_requested", r.stats.runsRequested);
+    w.kv("runs_from_memo", r.stats.runsFromMemo);
+    w.kv("runs_executed", r.stats.runsExecuted);
+    w.kv("runs_reused_in_engine", r.stats.runsReusedInEngine);
+    w.kv("rounds_executed", r.stats.roundsExecuted);
+    w.kv("rounds_resumed", r.stats.roundsResumed);
+    w.kv("memo_entries", r.stats.memoEntries);
+    w.endObject();
+
+    if (r.cell.requiredSpeedupVsLegacy > 0) {
+      w.key("acceptance").beginObject();
+      w.kv("required_speedup_vs_legacy", r.cell.requiredSpeedupVsLegacy);
+      w.kv("measured", r.speedupReduced());
+      w.kv("pass", r.speedupReduced() >= r.cell.requiredSpeedupVsLegacy);
+      w.endObject();
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  out << "\n";
   std::cout << "\nwrote " << path << " (peak RSS " << peakRssKb()
             << " KiB)\n";
 }
@@ -320,6 +324,7 @@ int run(int threads, bool smoke, const std::string& outPath) {
 
 int main(int argc, char** argv) {
   const int threads = ssvsp::bench::parseThreads(&argc, argv, 1);
+  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
   bool smoke = false;
   std::string outPath = "BENCH_sweep.json";
   for (int i = 1; i < argc; ++i) {

@@ -6,12 +6,17 @@
 //   $ ./latency_explorer F_OptFloodSetWS 5 2 --sampled
 //   $ ./latency_explorer A1 3 1 --check           # + exhaustive spec check
 //   $ ./latency_explorer FloodSetWS 3 2 --threads 8
+//   $ ./latency_explorer FloodSet 4 2 --trace-out=trace.json \
+//         --metrics-out=metrics.json --progress=2
 //
 // Prints lat(A), Lat(A), Lambda(A) and Lat(A, f) for f = 0..t, in the
 // algorithm's intended model, and optionally runs the exhaustive model
 // checker to confirm (or refute — try A1WS_candidate) correctness.
 // --threads N fans the sweep out over N workers (0 or omitted = one per
 // hardware thread); the profile is bit-identical for every value.
+// --trace-out writes a Chrome trace (spans require -DSSVSP_OBS=ON),
+// --metrics-out the sweep's metrics JSON, --progress=S a stderr progress
+// line every S seconds.
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -20,12 +25,14 @@
 #include "latency/latency.hpp"
 #include "lint/diagnostic.hpp"
 #include "mc/checker.hpp"
+#include "obs/artifacts.hpp"
 
 namespace {
 
 int usage() {
   std::cout << "usage: latency_explorer <algorithm> <n> <t> "
-               "[--sampled] [--check] [--threads N]\n\n"
+               "[--sampled] [--check] [--threads N] [--trace-out=FILE] "
+               "[--metrics-out=FILE] [--progress=SEC]\n\n"
                "registered algorithms:\n";
   for (const auto& e : ssvsp::algorithmRegistry())
     std::cout << "  " << e.name << "  (" << e.paperRef << ", intended model "
@@ -45,7 +52,9 @@ int main(int argc, char** argv) {
   const int t = std::atoi(argv[3]);
   bool sampled = false, check = false;
   int threads = 0;  // one worker per hardware thread
+  obs::ArtifactSession artifacts;
   for (int i = 4; i < argc; ++i) {
+    if (artifacts.parseArg(argv[i])) continue;
     if (std::strcmp(argv[i], "--sampled") == 0) sampled = true;
     if (std::strcmp(argv[i], "--check") == 0) check = true;
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
@@ -71,11 +80,13 @@ int main(int argc, char** argv) {
   const RoundConfig cfg{n, t};
   LatencyOptions o = canonicalLatencyOptions(*entry, cfg, !sampled);
   o.threads = threads;
+  o.progressIntervalSec = artifacts.progressSec();
 
   std::cout << entry->name << " (" << entry->paperRef << ") in "
             << toString(entry->intendedModel) << ", n = " << n
             << ", t = " << t << (sampled ? " [sampled]" : " [exhaustive]")
             << ", " << resolveThreads(threads) << " worker thread(s)\n";
+  artifacts.begin();
   try {
     const auto profile =
         measureLatency(entry->factory, cfg, entry->intendedModel, o);
@@ -95,7 +106,8 @@ int main(int argc, char** argv) {
     }
   } catch (const PreflightError& e) {
     std::cerr << renderText(e.diagnostics(), "preflight");
+    artifacts.finish(std::cerr);
     return 3;
   }
-  return 0;
+  return artifacts.finish(std::cerr) ? 0 : 1;
 }

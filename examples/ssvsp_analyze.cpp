@@ -23,6 +23,7 @@
 
 #include "analysis/analysis.hpp"
 #include "lint/lint.hpp"
+#include "obs/artifacts.hpp"
 
 namespace {
 
@@ -32,7 +33,8 @@ int usage() {
   std::cerr
       << "usage: ssvsp_analyze [--json] [--check-measured] [--no-golden]\n"
          "                     [--fail-on=error|warning] [--threads N]\n"
-         "                     [algorithm ...]\n\n"
+         "                     [--trace-out=FILE] [--metrics-out=FILE]\n"
+         "                     [--progress=SEC] [algorithm ...]\n\n"
          "registered algorithms:\n";
   for (const auto& e : algorithmRegistry())
     std::cerr << "  " << e.name << "  (" << e.paperRef << ", "
@@ -47,9 +49,12 @@ int main(int argc, char** argv) {
   FailOn failOn = FailOn::kError;
   AnalysisOptions options;
   std::vector<std::string> names;
+  obs::ArtifactSession artifacts;
 
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
+    if (artifacts.parseArg(argv[i])) {
+      options.progressIntervalSec = artifacts.progressSec();
+    } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--check-measured") == 0) {
       options.checkMeasured = true;
@@ -84,6 +89,7 @@ int main(int argc, char** argv) {
   }
 
   bool failed = false;
+  artifacts.begin();
   try {
     if (json) std::cout << "[";
     bool first = true;
@@ -102,7 +108,9 @@ int main(int argc, char** argv) {
   } catch (const PreflightError& e) {
     if (json) std::cout << "]";
     std::cerr << renderText(e.diagnostics(), "preflight");
+    artifacts.finish(std::cerr);
     return 3;
   }
+  if (!artifacts.finish(std::cerr)) return 1;
   return failed ? 1 : 0;
 }

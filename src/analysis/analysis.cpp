@@ -9,6 +9,7 @@
 #include "consensus/messages.hpp"
 #include "latency/latency.hpp"
 #include "lint/codes.hpp"
+#include "util/serde.hpp"
 
 namespace ssvsp {
 
@@ -16,20 +17,6 @@ namespace {
 
 std::string fmtRound(Round r) {
   return r == kNoRound ? std::string("inf") : std::to_string(r);
-}
-
-std::string jsonStr(const std::string& s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
-std::string jsonRound(Round r) {
-  return r == kNoRound ? std::string("null") : std::to_string(r);
 }
 
 /// Evidence for the structural findings, joined over all interpreted runs.
@@ -285,6 +272,7 @@ AnalysisReport analyzeAlgorithm(const AlgorithmEntry& entry,
     LatencyOptions lo =
         canonicalLatencyOptions(entry, report.measuredCfg, /*exhaustive=*/true);
     lo.threads = options.threads;
+    lo.progressIntervalSec = options.progressIntervalSec;
     const LatencyProfile profile = measureLatency(
         entry.factory, report.measuredCfg, entry.intendedModel, lo);
     report.measuredProfile = profile.toString();
@@ -363,40 +351,70 @@ std::string AnalysisReport::toText() const {
 }
 
 std::string AnalysisReport::toJson() const {
+  // Compact serde JsonWriter, same "key":value byte format as the
+  // hand-rolled emitter this replaced.
   std::ostringstream os;
-  os << "{\"algorithm\":" << jsonStr(algorithm)
-     << ",\"paperRef\":" << jsonStr(paperRef)
-     << ",\"model\":" << jsonStr(ssvsp::toString(model))
-     << ",\"n\":" << cfg.n << ",\"t\":" << cfg.t << ",\"derived\":{"
-     << "\"lat\":" << jsonRound(derived.lat)
-     << ",\"Lat\":" << jsonRound(derived.latMax)
-     << ",\"Lambda\":" << jsonRound(derived.lambda) << ",\"LatByF\":[";
-  for (std::size_t f = 0; f < derived.byMaxCrashes.size(); ++f)
-    os << (f ? "," : "") << jsonRound(derived.byMaxCrashes[f].latest);
-  os << "],\"closedForm\":"
-     << (closedForm.has_value() ? jsonStr(closedForm->toString()) : "null");
+  JsonWriter w(os);
+  const auto roundValue = [&w](Round r) {
+    if (r == kNoRound)
+      w.null();
+    else
+      w.value(r);
+  };
+  w.beginObject();
+  w.kv("algorithm", algorithm);
+  w.kv("paperRef", paperRef);
+  w.kv("model", ssvsp::toString(model));
+  w.kv("n", cfg.n);
+  w.kv("t", cfg.t);
+
+  w.key("derived").beginObject();
+  w.key("lat");
+  roundValue(derived.lat);
+  w.key("Lat");
+  roundValue(derived.latMax);
+  w.key("Lambda");
+  roundValue(derived.lambda);
+  w.key("LatByF").beginArray();
+  for (const PerBudgetBounds& b : derived.byMaxCrashes)
+    roundValue(b.latest);
+  w.endArray();
+  w.key("closedForm");
+  if (closedForm.has_value())
+    w.value(closedForm->toString());
+  else
+    w.null();
   const PerBudgetBounds& worst = derived.byMaxCrashes.back();
-  os << ",\"maxMsgsPerRound\":" << worst.maxMsgsPerRound
-     << ",\"quiescence\":" << jsonRound(worst.quiescence)
-     << ",\"peakPending\":" << worst.peakPendingInFlight
-     << ",\"cells\":" << derived.cells << ",\"runs\":" << derived.runs << "}";
+  w.kv("maxMsgsPerRound", worst.maxMsgsPerRound);
+  w.key("quiescence");
+  roundValue(worst.quiescence);
+  w.kv("peakPending", worst.peakPendingInFlight);
+  w.kv("cells", derived.cells);
+  w.kv("runs", derived.runs);
+  w.endObject();
+
   if (declared.has_value()) {
-    os << ",\"declared\":{\"lat\":" << jsonStr(declared->lat.toString())
-       << ",\"Lat\":" << jsonStr(declared->latMax.toString())
-       << ",\"Lambda\":" << jsonStr(declared->lambda.toString())
-       << ",\"LatByF\":" << jsonStr(declared->latByF.toString()) << "}";
+    w.key("declared").beginObject();
+    w.kv("lat", declared->lat.toString());
+    w.kv("Lat", declared->latMax.toString());
+    w.kv("Lambda", declared->lambda.toString());
+    w.kv("LatByF", declared->latByF.toString());
+    w.endObject();
   } else {
-    os << ",\"declared\":null";
+    w.key("declared").null();
   }
-  os << ",\"goldenChecked\":" << (goldenChecked ? "true" : "false");
+  w.kv("goldenChecked", goldenChecked);
   if (measuredChecked) {
-    os << ",\"measured\":{\"n\":" << measuredCfg.n
-       << ",\"t\":" << measuredCfg.t
-       << ",\"profile\":" << jsonStr(measuredProfile) << "}";
+    w.key("measured").beginObject();
+    w.kv("n", measuredCfg.n);
+    w.kv("t", measuredCfg.t);
+    w.kv("profile", measuredProfile);
+    w.endObject();
   } else {
-    os << ",\"measured\":null";
+    w.key("measured").null();
   }
-  os << ",\"report\":" << renderJson(sink.diagnostics(), algorithm) << "}";
+  w.key("report").raw(renderJson(sink.diagnostics(), algorithm));
+  w.endObject();
   return os.str();
 }
 

@@ -37,6 +37,9 @@ struct AnalysisOptions {
   bool checkMeasured = false;
   /// Worker threads for the measured sweep (0 = one per hardware thread).
   int threads = 0;
+  /// Progress-line period for the measured sweep, forwarded to
+  /// ExploreSpec::progressIntervalSec (-1 = SSVSP_PROGRESS env default).
+  double progressIntervalSec = -1;
 };
 
 struct AnalysisReport {

@@ -8,7 +8,13 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
+
+#if SSVSP_OBS_ENABLED
+#include <chrono>
+#include <string>
+#endif
 
 namespace ssvsp {
 
@@ -25,7 +31,8 @@ struct Chunk {
 /// the same script index as the pooled path.
 SweepOutcome sweepInline(
     const ScriptStream& stream, int chunkScripts,
-    const std::function<std::unique_ptr<SweepShard>(int)>& makeShard) {
+    const std::function<std::unique_ptr<SweepShard>(int)>& makeShard,
+    obs::ProgressMeter* progress) {
   SweepOutcome out;
   out.merged = makeShard(0);
   std::int64_t index = 0;
@@ -35,7 +42,12 @@ SweepOutcome sweepInline(
     out.scriptsMerged++;
     if (++inChunk == chunkScripts) {
       inChunk = 0;
-      if (out.merged->saturated()) return false;  // deterministic cut
+      OBS_COUNTER_INC("sweep.chunks");
+      if (progress != nullptr) progress->update(out.scriptsMerged);
+      if (out.merged->saturated()) {
+        OBS_INSTANT("sweep.saturated");
+        return false;  // deterministic cut
+      }
     }
     return true;
   });
@@ -61,35 +73,56 @@ struct Pool {
   std::int64_t frontier = 0;  ///< next chunk id to merge
   std::unique_ptr<SweepShard> merged;
   std::int64_t scriptsMerged = 0;
+  obs::ProgressMeter* progress = nullptr;
 
   void workerLoop(int worker,
                   const std::function<std::unique_ptr<SweepShard>(int)>& make) {
+#if SSVSP_OBS_ENABLED
+    obs::setCurrentThreadName("sweep-w" + std::to_string(worker));
+    std::int64_t busyNs = 0;
+#else
+    (void)worker;
+#endif
     while (true) {
       Chunk chunk;
       {
         std::unique_lock<std::mutex> lock(mu);
         canPop.wait(lock,
                     [&] { return !queue.empty() || produced || cut; });
-        if (cut) return;
-        if (queue.empty()) return;  // produced && drained
+        if (cut) break;
+        if (queue.empty()) break;  // produced && drained
         chunk = std::move(queue.front());
         queue.pop_front();
         canPush.notify_one();
       }
 
+#if SSVSP_OBS_ENABLED
+      const auto chunkStart = std::chrono::steady_clock::now();
+#endif
       auto shard = make(worker);
-      std::int64_t index = chunk.firstScript;
-      for (const FailureScript& script : chunk.scripts)
-        shard->visit(script, index++);
+      {
+        OBS_SPAN("sweep.chunk");
+        std::int64_t index = chunk.firstScript;
+        for (const FailureScript& script : chunk.scripts)
+          shard->visit(script, index++);
+      }
+#if SSVSP_OBS_ENABLED
+      busyNs += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - chunkStart)
+                    .count();
+      OBS_COUNTER_INC("sweep.chunks");
+#endif
 
       std::lock_guard<std::mutex> lock(mu);
-      if (cut) return;
+      if (cut) break;
       ready.emplace(chunk.id,
                     std::make_pair(std::move(shard),
                                    static_cast<std::int64_t>(
                                        chunk.scripts.size())));
       // Advance the in-order merge as far as finished chunks allow,
       // checking saturation after each chunk exactly like the inline path.
+      OBS_SPAN("sweep.merge");
+      bool sawCut = false;
       while (true) {
         auto it = ready.find(frontier);
         if (it == ready.end()) break;
@@ -101,15 +134,24 @@ struct Pool {
         ready.erase(it);
         ++frontier;
         if (merged->saturated()) {
+          OBS_INSTANT("sweep.saturated");
           cut = true;
           ready.clear();
           queue.clear();
           canPop.notify_all();
           canPush.notify_all();
-          return;
+          sawCut = true;
+          break;
         }
       }
+      if (progress != nullptr) progress->update(scriptsMerged);
+      if (sawCut) break;
     }
+#if SSVSP_OBS_ENABLED
+    // One observation per worker: the exported histogram's min/max/sum show
+    // how evenly chunk work spread across the pool.
+    OBS_HISTOGRAM("sweep.worker_busy_us", busyNs / 1000);
+#endif
   }
 };
 
@@ -117,13 +159,17 @@ struct Pool {
 
 SweepOutcome parallelSweep(
     const ScriptStream& stream, const ExploreSpec& spec,
-    const std::function<std::unique_ptr<SweepShard>(int worker)>& makeShard) {
+    const std::function<std::unique_ptr<SweepShard>(int worker)>& makeShard,
+    obs::ProgressMeter* progress) {
   SSVSP_CHECK(makeShard != nullptr);
+  OBS_SPAN("sweep");
   const int threads = resolveThreads(spec.threads);
   const int chunkScripts = spec.chunkScripts >= 1 ? spec.chunkScripts : 1;
-  if (threads <= 1) return sweepInline(stream, chunkScripts, makeShard);
+  if (threads <= 1)
+    return sweepInline(stream, chunkScripts, makeShard, progress);
 
   Pool pool;
+  pool.progress = progress;
   pool.queueCap = static_cast<std::size_t>(threads) * 4;
 
   std::vector<std::thread> workers;

@@ -28,6 +28,7 @@
 #include <memory>
 
 #include "explore/spec.hpp"
+#include "obs/progress.hpp"
 #include "rounds/failure_script.hpp"
 
 namespace ssvsp {
@@ -81,8 +82,13 @@ struct SweepOutcome {
 /// a shared per-worker arena (pooled engines, scratch buffers — see
 /// explore/reduction.hpp); such an arena must only be touched from visit(),
 /// never from mergeFrom(), which can run on a different thread.
+///
+/// `progress`, when non-null, is fed the merged-script count each time the
+/// in-order prefix advances (under the merge lock — the update is a couple
+/// of relaxed atomics, see obs/progress.hpp).
 SweepOutcome parallelSweep(
     const ScriptStream& stream, const ExploreSpec& spec,
-    const std::function<std::unique_ptr<SweepShard>(int worker)>& makeShard);
+    const std::function<std::unique_ptr<SweepShard>(int worker)>& makeShard,
+    obs::ProgressMeter* progress = nullptr);
 
 }  // namespace ssvsp

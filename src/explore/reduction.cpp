@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "rounds/spec.hpp"
 #include "util/check.hpp"
 
@@ -109,6 +110,7 @@ void PairCanonicalizer::encodeScript(int g, const FailureScript& script,
 }
 
 void PairCanonicalizer::setScript(const FailureScript& script) {
+  OBS_SPAN("reduction.canonicalize");
   argmin_.clear();
   bestScript_.clear();
   for (int g = 0; g < group_.size(); ++g) {
@@ -152,6 +154,31 @@ void SweepRunStats::add(const SweepRunStats& o) {
   memoEntries += o.memoEntries;
 }
 
+void SweepRunStats::publish(obs::MetricsRegistry& registry) const {
+  registry.counter("sweep.runs_requested").add(runsRequested);
+  registry.counter("sweep.runs_from_memo").add(runsFromMemo);
+  registry.counter("sweep.runs_executed").add(runsExecuted);
+  registry.counter("sweep.runs_reused_in_engine").add(runsReusedInEngine);
+  registry.counter("sweep.rounds_executed").add(roundsExecuted);
+  registry.counter("sweep.rounds_resumed").add(roundsResumed);
+  registry.counter("sweep.memo_entries").add(memoEntries);
+  registry.counter("sweep.memo_hits").add(runsFromMemo);
+  registry.counter("sweep.memo_misses").add(runsRequested - runsFromMemo);
+}
+
+SweepRunStats SweepRunStats::fromRegistry(
+    const obs::MetricsSnapshot& snapshot) {
+  SweepRunStats s;
+  s.runsRequested = snapshot.value("sweep.runs_requested");
+  s.runsFromMemo = snapshot.value("sweep.runs_from_memo");
+  s.runsExecuted = snapshot.value("sweep.runs_executed");
+  s.runsReusedInEngine = snapshot.value("sweep.runs_reused_in_engine");
+  s.roundsExecuted = snapshot.value("sweep.rounds_executed");
+  s.roundsResumed = snapshot.value("sweep.rounds_resumed");
+  s.memoEntries = snapshot.value("sweep.memo_entries");
+  return s;
+}
+
 RunExecutor::RunExecutor(const RoundConfig& cfg, RoundModel model,
                          RoundAutomatonFactory factory,
                          std::vector<std::vector<Value>> configs,
@@ -173,7 +200,7 @@ RunSummary RunExecutor::run(const FailureScript& script,
                             std::int64_t scriptIndex,
                             std::size_t configIndex) {
   SSVSP_CHECK(configIndex < configs_.size());
-  ++runsRequested_;
+  runsRequested_.fetch_add(1, std::memory_order_relaxed);
 
   const std::string* key = nullptr;
   if (canon_ != nullptr) {
@@ -183,7 +210,7 @@ RunSummary RunExecutor::run(const FailureScript& script,
     }
     key = &canon_->key(configs_[configIndex]);
     if (std::optional<RunSummary> hit = memo_->find(*key)) {
-      ++runsFromMemo_;
+      runsFromMemo_.fetch_add(1, std::memory_order_relaxed);
       return *hit;
     }
   }
@@ -198,8 +225,8 @@ RunSummary RunExecutor::run(const FailureScript& script,
 
 SweepRunStats RunExecutor::stats() const {
   SweepRunStats s;
-  s.runsRequested = runsRequested_;
-  s.runsFromMemo = runsFromMemo_;
+  s.runsRequested = runsRequestedNow();
+  s.runsFromMemo = runsFromMemoNow();
   for (const auto& engine : engines_) {
     const RoundEngine::Stats& es = engine->stats();
     s.runsExecuted += es.runsExecuted;

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -33,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "rounds/engine.hpp"
 #include "rounds/failure_script.hpp"
 #include "rounds/round_automaton.hpp"
@@ -146,6 +148,12 @@ class PairCanonicalizer {
 /// McCheckOptions::runStats out-param).  Deliberately NOT part of McReport:
 /// reports stay bit-identical across reduction modes and thread counts,
 /// while these numbers legitimately vary with both.
+///
+/// The struct is a view over the obs metrics registry: sweeps publish()
+/// their aggregated totals under the sweep.* counter names at sweep end,
+/// and fromRegistry() reconstructs the struct from a MetricsSnapshot, so
+/// existing callers keep their plain-struct API while --metrics-out and the
+/// exporters see the same numbers.
 struct SweepRunStats {
   std::int64_t runsRequested = 0;  ///< (script, config) pairs visited
   std::int64_t runsFromMemo = 0;   ///< served by a memoized summary
@@ -156,6 +164,15 @@ struct SweepRunStats {
   std::int64_t memoEntries = 0;    ///< distinct orbits executed
 
   void add(const SweepRunStats& o);
+
+  /// Adds every field to `registry` as sweep.* counters, plus the derived
+  /// sweep.memo_hits / sweep.memo_misses pair.  Called once per sweep on
+  /// the aggregated totals (counters accumulate across sweeps).
+  void publish(obs::MetricsRegistry& registry) const;
+
+  /// Inverse of publish() over a snapshot: the sweep.* counter values as a
+  /// struct (absent names read as 0).
+  static SweepRunStats fromRegistry(const obs::MetricsSnapshot& snapshot);
 };
 
 /// The per-worker execution arena: one pooled, checkpoint-resuming
@@ -189,14 +206,23 @@ class RunExecutor {
   /// read the shared memo's final size).
   SweepRunStats stats() const;
 
+  /// Live counter reads, safe from any thread mid-sweep (relaxed atomics) —
+  /// the progress meter samples these for its memo-hit-rate figure.
+  std::int64_t runsRequestedNow() const {
+    return runsRequested_.load(std::memory_order_relaxed);
+  }
+  std::int64_t runsFromMemoNow() const {
+    return runsFromMemo_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::vector<std::vector<Value>> configs_;
   std::vector<std::unique_ptr<RoundEngine>> engines_;  ///< one per config
   RunMemo* memo_ = nullptr;
   std::unique_ptr<PairCanonicalizer> canon_;  ///< null = reduction off
   std::int64_t lastScriptIndex_ = -1;
-  std::int64_t runsRequested_ = 0;
-  std::int64_t runsFromMemo_ = 0;
+  std::atomic<std::int64_t> runsRequested_{0};
+  std::atomic<std::int64_t> runsFromMemo_{0};
 };
 
 }  // namespace ssvsp

@@ -72,6 +72,11 @@ struct ExploreSpec {
   /// Seed for sampling mode (analyzers that draw scripts instead of
   /// enumerating them).
   std::uint64_t seed = 1;
+  /// Stderr progress line period in seconds: > 0 emits one line per period
+  /// (configs done, throughput, ETA, memo hit rate), 0 disables, and the
+  /// default -1 defers to the SSVSP_PROGRESS environment variable (unset =
+  /// off).  Purely observational — never affects results.
+  double progressIntervalSec = -1;
 };
 
 /// Number of workers `threads` asks for: itself if positive, else the

@@ -9,6 +9,8 @@
 #include "explore/parallel_sweep.hpp"
 #include "explore/reduction.hpp"
 #include "lint/lint.hpp"
+#include "obs/obs.hpp"
+#include "obs/progress.hpp"
 #include "rounds/adversary.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -203,11 +205,53 @@ LatencyProfile measureLatency(const RoundAutomatonFactory& factory,
         cfg, model, factory, ctx.configs, ctx.engineOpt, group.get(),
         memo.get()));
 
-  SweepOutcome outcome = parallelSweep(stream, options, [&](int worker) {
-    return std::make_unique<LatShard>(
-        ctx, arenas[static_cast<std::size_t>(worker)].get());
-  });
-  return static_cast<LatShard&>(*outcome.merged).finish();
+  obs::ProgressMeter::Options progressOpt;
+  progressOpt.intervalSec = options.progressIntervalSec >= 0
+                                ? options.progressIntervalSec
+                                : obs::progressIntervalFromEnv();
+  progressOpt.label = "latency";
+  if (progressOpt.intervalSec > 0) {
+    if (options.exhaustive) {
+      progressOpt.totalScripts =
+          countScripts(cfg, model, options.enumeration);
+    } else {
+      progressOpt.totalScripts =
+          static_cast<std::int64_t>(options.samples) + cfg.t + 1;
+    }
+    progressOpt.memoHits = [&arenas] {
+      std::int64_t hits = 0;
+      for (const auto& arena : arenas) hits += arena->runsFromMemoNow();
+      return hits;
+    };
+    progressOpt.memoRequests = [&arenas] {
+      std::int64_t requests = 0;
+      for (const auto& arena : arenas) requests += arena->runsRequestedNow();
+      return requests;
+    };
+  }
+  obs::ProgressMeter progress(std::move(progressOpt));
+
+  SweepOutcome outcome;
+  {
+    OBS_SPAN("latency.sweep");
+    outcome = parallelSweep(
+        stream, options,
+        [&](int worker) {
+          return std::make_unique<LatShard>(
+              ctx, arenas[static_cast<std::size_t>(worker)].get());
+        },
+        progress.enabled() ? &progress : nullptr);
+  }
+  progress.finish();
+
+  SweepRunStats agg;
+  for (const auto& arena : arenas) agg.add(arena->stats());
+  agg.memoEntries = memo != nullptr ? memo->size() : 0;
+  agg.publish(obs::metrics());
+
+  LatencyProfile profile = static_cast<LatShard&>(*outcome.merged).finish();
+  obs::metrics().counter("latency.runs").add(profile.runsExecuted);
+  return profile;
 }
 
 LatencyProfile measureLatency(const RoundAutomatonFactory& factory,

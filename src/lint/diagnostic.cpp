@@ -1,48 +1,11 @@
 #include "lint/diagnostic.hpp"
 
-#include <cstdio>
 #include <sstream>
 #include <utility>
 
+#include "util/serde.hpp"
+
 namespace ssvsp {
-
-namespace {
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-std::string jsonEscape(const std::string& s) {
-  std::ostringstream os;
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      case '\r':
-        os << "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  return os.str();
-}
-
-}  // namespace
 
 std::string toString(Severity severity) {
   switch (severity) {
@@ -109,20 +72,27 @@ std::string renderJson(const std::vector<Diagnostic>& diagnostics,
     if (d.severity == Severity::kError) ++errors;
     if (d.severity == Severity::kWarning) ++warnings;
   }
+  // Compact serde JsonWriter: same "key":value byte format as the
+  // hand-rolled emitter this replaced (consumers substring-match it).
   std::ostringstream os;
-  os << "{\"artifact\":\"" << jsonEscape(artifact) << "\",\"errors\":"
-     << errors << ",\"warnings\":" << warnings << ",\"diagnostics\":[";
-  bool first = true;
+  JsonWriter w(os);
+  w.beginObject();
+  w.kv("artifact", artifact);
+  w.kv("errors", errors);
+  w.kv("warnings", warnings);
+  w.key("diagnostics").beginArray();
   for (const Diagnostic& d : diagnostics) {
-    if (!first) os << ",";
-    first = false;
-    os << "{\"code\":\"" << jsonEscape(d.code) << "\",\"severity\":\""
-       << toString(d.severity) << "\",\"line\":" << d.location.line
-       << ",\"column\":" << d.location.column << ",\"message\":\""
-       << jsonEscape(d.message) << "\",\"hint\":\"" << jsonEscape(d.hint)
-       << "\"}";
+    w.beginObject();
+    w.kv("code", d.code);
+    w.kv("severity", toString(d.severity));
+    w.kv("line", d.location.line);
+    w.kv("column", d.location.column);
+    w.kv("message", d.message);
+    w.kv("hint", d.hint);
+    w.endObject();
   }
-  os << "]}";
+  w.endArray();
+  w.endObject();
   return os.str();
 }
 

@@ -7,6 +7,8 @@
 #include "explore/parallel_sweep.hpp"
 #include "explore/reduction.hpp"
 #include "lint/lint.hpp"
+#include "obs/obs.hpp"
+#include "obs/progress.hpp"
 #include "util/check.hpp"
 
 namespace ssvsp {
@@ -189,20 +191,56 @@ McReport modelCheckConsensus(const RoundAutomatonFactory& factory,
       [&](const std::function<bool(const FailureScript&)>& fn) {
         forEachScript(cfg, model, options.enumeration, fn);
       };
-  SweepOutcome outcome = parallelSweep(stream, options, [&](int worker) {
-    return std::make_unique<McShard>(
-        ctx, arenas[static_cast<std::size_t>(worker)].get());
-  });
 
-  if (options.runStats != nullptr) {
-    SweepRunStats agg;
-    for (const auto& arena : arenas) agg.add(arena->stats());
-    agg.memoEntries = memo != nullptr ? memo->size() : 0;
-    *options.runStats = agg;
+  obs::ProgressMeter::Options progressOpt;
+  progressOpt.intervalSec = options.progressIntervalSec >= 0
+                                ? options.progressIntervalSec
+                                : obs::progressIntervalFromEnv();
+  progressOpt.label = "mc";
+  if (progressOpt.intervalSec > 0) {
+    // Counting costs one extra (runless) enumeration pass; only pay it when
+    // the progress line is actually on.
+    progressOpt.totalScripts =
+        countScripts(cfg, model, options.enumeration);
+    progressOpt.memoHits = [&arenas] {
+      std::int64_t hits = 0;
+      for (const auto& arena : arenas) hits += arena->runsFromMemoNow();
+      return hits;
+    };
+    progressOpt.memoRequests = [&arenas] {
+      std::int64_t requests = 0;
+      for (const auto& arena : arenas) requests += arena->runsRequestedNow();
+      return requests;
+    };
   }
+  obs::ProgressMeter progress(std::move(progressOpt));
+
+  SweepOutcome outcome;
+  {
+    OBS_SPAN("mc.sweep");
+    outcome = parallelSweep(
+        stream, options,
+        [&](int worker) {
+          return std::make_unique<McShard>(
+              ctx, arenas[static_cast<std::size_t>(worker)].get());
+        },
+        progress.enabled() ? &progress : nullptr);
+  }
+  progress.finish();
+
+  SweepRunStats agg;
+  for (const auto& arena : arenas) agg.add(arena->stats());
+  agg.memoEntries = memo != nullptr ? memo->size() : 0;
+  agg.publish(obs::metrics());
+  if (options.runStats != nullptr) *options.runStats = agg;
 
   McReport report = static_cast<McShard&>(*outcome.merged).takeReport();
   SSVSP_CHECK(report.scriptsVisited == outcome.scriptsMerged);
+  obs::metrics().counter("mc.scripts").add(report.scriptsVisited);
+  obs::metrics().counter("mc.runs").add(report.runsExecuted);
+  obs::metrics()
+      .counter("mc.violations")
+      .add(static_cast<std::int64_t>(report.violations.size()));
   return report;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ssvsp {
@@ -201,9 +202,11 @@ struct Walker {
 std::int64_t forEachScript(
     const RoundConfig& cfg, RoundModel model, const EnumOptions& options,
     const std::function<bool(const FailureScript&)>& fn) {
+  OBS_SPAN("enum.scripts");
   Walker w{cfg, model, options, &fn};
   std::vector<ProcessId> set;
   w.chooseSet(set, 0);
+  OBS_COUNTER_ADD("enum.scripts", w.visited);
   return w.visited;
 }
 

@@ -1,0 +1,82 @@
+#include "obs/artifacts.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+
+namespace ssvsp::obs {
+
+namespace {
+
+bool takePrefixed(std::string_view arg, std::string_view prefix,
+                  std::string_view* rest) {
+  if (arg.substr(0, prefix.size()) != prefix) return false;
+  *rest = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+bool ArtifactSession::parseArg(std::string_view arg) {
+  std::string_view rest;
+  if (takePrefixed(arg, "--trace-out=", &rest)) {
+    traceOut_.assign(rest);
+    return true;
+  }
+  if (takePrefixed(arg, "--metrics-out=", &rest)) {
+    metricsOut_.assign(rest);
+    return true;
+  }
+  if (takePrefixed(arg, "--progress=", &rest)) {
+    double sec = 0;
+    auto [ptr, ec] = std::from_chars(rest.data(), rest.data() + rest.size(),
+                                     sec);
+    progressSec_ = (ec == std::errc{} && ptr == rest.data() + rest.size() &&
+                    sec > 0)
+                       ? sec
+                       : 0;
+    return true;
+  }
+  return false;
+}
+
+void ArtifactSession::begin() {
+  if (began_) return;
+  began_ = true;
+  if (!wantsTrace()) return;
+  if (!SSVSP_OBS_ENABLED) {
+    std::fputs(
+        "[ssvsp obs] note: built without SSVSP_OBS — the trace will contain "
+        "no spans (reconfigure with -DSSVSP_OBS=ON)\n",
+        stderr);
+  }
+  startTracing();
+  setCurrentThreadName("main");
+}
+
+bool ArtifactSession::finish(std::ostream& err) {
+  if (finished_) return true;
+  finished_ = true;
+  bool ok = true;
+  std::string error;
+  if (wantsTrace()) {
+    const TraceSnapshot snapshot = stopTracing();
+    if (!writeChromeTraceFile(traceOut_, snapshot, &error)) {
+      err << "[ssvsp obs] " << error << "\n";
+      ok = false;
+    }
+  }
+  if (wantsMetrics()) {
+    if (!writeMetricsJsonFile(metricsOut_, metrics().snapshot(), &error)) {
+      err << "[ssvsp obs] " << error << "\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace ssvsp::obs

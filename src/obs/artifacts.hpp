@@ -1,0 +1,46 @@
+// Command-line artifact plumbing shared by the example CLIs and the bench
+// binaries: parses the --trace-out= / --metrics-out= / --progress= flags,
+// runs the trace session around the work, and writes both artifacts at the
+// end.  Keeping the flag spelling and file handling here means every binary
+// that links obs surfaces the exact same observability surface.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace ssvsp::obs {
+
+class ArtifactSession {
+ public:
+  /// Consumes one argv token if it is an obs flag (--trace-out=PATH,
+  /// --metrics-out=PATH, --progress=SECONDS); returns false — leaving the
+  /// token for the caller's own parser — otherwise.
+  bool parseArg(std::string_view arg);
+
+  /// Starts the trace session when --trace-out was given.  Call before the
+  /// instrumented work; in a build without SSVSP_OBS this warns on stderr
+  /// that the trace will carry no spans.
+  void begin();
+
+  /// Stops tracing and writes the requested artifact files (metrics from
+  /// the global registry).  Returns false (with messages on `err`) if any
+  /// file failed to write.  Idempotent: only the first call writes.
+  bool finish(std::ostream& err);
+
+  bool wantsTrace() const { return !traceOut_.empty(); }
+  bool wantsMetrics() const { return !metricsOut_.empty(); }
+  /// Value of --progress=SECONDS, or -1 when the flag was absent (callers
+  /// forward this to ExploreSpec::progressIntervalSec, whose -1 means
+  /// "defer to SSVSP_PROGRESS").
+  double progressSec() const { return progressSec_; }
+
+ private:
+  std::string traceOut_;
+  std::string metricsOut_;
+  double progressSec_ = -1;
+  bool began_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace ssvsp::obs

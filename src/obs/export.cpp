@@ -1,0 +1,133 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/serde.hpp"
+
+namespace ssvsp::obs {
+
+namespace {
+
+/// Chrome trace timestamps are fractional microseconds.
+double toMicros(std::int64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+void writeEvent(JsonWriter& w, const SpanEvent& ev) {
+  w.beginObject();
+  w.kv("name", ev.name != nullptr ? ev.name : "?");
+  w.kv("cat", "ssvsp");
+  w.kv("ph", ev.instant() ? "i" : "X");
+  w.kv("ts", toMicros(ev.startNs));
+  if (ev.instant()) {
+    w.kv("s", "t");  // thread-scoped instant
+  } else {
+    w.kv("dur", toMicros(ev.durNs));
+  }
+  w.kv("pid", std::int64_t{1});
+  w.kv("tid", std::int64_t{ev.tid});
+  w.endObject();
+}
+
+}  // namespace
+
+void writeChromeTrace(std::ostream& os, const TraceSnapshot& snapshot) {
+  JsonWriter w(os);
+  w.beginObject();
+  w.key("traceEvents").beginArray();
+  for (std::size_t tid = 0; tid < snapshot.threadNames.size(); ++tid) {
+    if (snapshot.threadNames[tid].empty()) continue;
+    w.beginObject();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", std::int64_t{1});
+    w.kv("tid", static_cast<std::int64_t>(tid));
+    w.key("args").beginObject();
+    w.kv("name", snapshot.threadNames[tid]);
+    w.endObject();
+    w.endObject();
+  }
+  for (const SpanEvent& ev : snapshot.events) writeEvent(w, ev);
+  w.endArray();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData").beginObject();
+  w.kv("droppedEvents", static_cast<std::int64_t>(snapshot.droppedEvents));
+  w.endObject();
+  w.endObject();
+  os << "\n";
+}
+
+void writeMetricsJson(std::ostream& os, const MetricsSnapshot& snapshot) {
+  JsonWriter w(os, 2);
+  w.beginObject();
+  w.kv("schema", "ssvsp.metrics.v1");
+
+  w.key("counters").beginObject();
+  for (const MetricSample& s : snapshot.samples)
+    if (s.kind == MetricSample::Kind::kCounter) w.kv(s.name, s.value);
+  w.endObject();
+
+  w.key("gauges").beginObject();
+  for (const MetricSample& s : snapshot.samples)
+    if (s.kind == MetricSample::Kind::kGauge) w.kv(s.name, s.value);
+  w.endObject();
+
+  w.key("histograms").beginObject();
+  for (const MetricSample& s : snapshot.samples) {
+    if (s.kind != MetricSample::Kind::kHistogram) continue;
+    w.key(s.name).beginObject();
+    w.kv("count", s.hist.count);
+    w.kv("sum", s.hist.sum);
+    w.kv("min", s.hist.min);
+    w.kv("max", s.hist.max);
+    w.key("buckets").beginArray();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::int64_t n = s.hist.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      // [lower bound of the bucket, observation count]
+      const std::int64_t lower = i == 0 ? 0 : std::int64_t{1} << (i - 1);
+      w.beginArray().value(lower).value(n).endArray();
+    }
+    w.endArray();
+    w.endObject();
+  }
+  w.endObject();
+
+  w.endObject();
+  os << "\n";
+}
+
+namespace {
+
+template <typename WriteFn>
+bool writeFile(const std::string& path, std::string* error, WriteFn&& fn) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  fn(os);
+  os.flush();
+  if (!os) {
+    if (error != nullptr) *error = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool writeChromeTraceFile(const std::string& path,
+                          const TraceSnapshot& snapshot, std::string* error) {
+  return writeFile(path, error,
+                   [&](std::ostream& os) { writeChromeTrace(os, snapshot); });
+}
+
+bool writeMetricsJsonFile(const std::string& path,
+                          const MetricsSnapshot& snapshot,
+                          std::string* error) {
+  return writeFile(path, error,
+                   [&](std::ostream& os) { writeMetricsJson(os, snapshot); });
+}
+
+}  // namespace ssvsp::obs

@@ -1,0 +1,32 @@
+// Exporters: Chrome trace_event JSON (open in chrome://tracing or
+// https://ui.perfetto.dev) and the metrics JSON document.  Both render
+// through the shared util/serde JsonWriter and round-trip through its
+// parseJson reader (the obs ctest target and tests/test_obs.cpp rely on
+// that).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ssvsp::obs {
+
+/// Chrome trace_event "X" (complete) and "i" (instant) events plus
+/// thread_name metadata, timestamps in fractional microseconds.
+void writeChromeTrace(std::ostream& os, const TraceSnapshot& snapshot);
+
+/// Metrics document (schema "ssvsp.metrics.v1"): counters and gauges as
+/// name -> value objects, histograms as {count, sum, min, max, buckets}
+/// with only non-empty power-of-two buckets listed as [lowerBound, count].
+void writeMetricsJson(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// File-writing wrappers: return false and fill `error` on I/O failure.
+bool writeChromeTraceFile(const std::string& path,
+                          const TraceSnapshot& snapshot, std::string* error);
+bool writeMetricsJsonFile(const std::string& path,
+                          const MetricsSnapshot& snapshot,
+                          std::string* error);
+
+}  // namespace ssvsp::obs

@@ -1,0 +1,158 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace ssvsp::obs {
+
+void Histogram::observe(std::int64_t v) noexcept {
+  const int bucket =
+      v <= 0 ? 0 : std::bit_width(static_cast<std::uint64_t>(v));
+  buckets_[static_cast<std::size_t>(std::min(bucket, kBuckets - 1))]
+      .fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  const std::int64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) {
+    // First observation seeds min/max; races with other first observers
+    // are settled by the CAS loops below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  std::int64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBuckets; ++i)
+    s.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+const MetricSample* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricSample& s : samples)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+std::int64_t MetricsSnapshot::value(std::string_view name,
+                                    std::int64_t fallback) const {
+  const MetricSample* s = find(name);
+  return s != nullptr ? s->value : fallback;
+}
+
+/// Deques give node-stable storage: references returned by the accessors
+/// survive later registrations.
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::unordered_map<std::string, Counter*> counterByName;
+  std::unordered_map<std::string, Gauge*> gaugeByName;
+  std::unordered_map<std::string, Histogram*> histogramByName;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counterByName.find(std::string(name));
+  if (it != impl_->counterByName.end()) return *it->second;
+  impl_->counters.emplace_back();
+  Counter* c = &impl_->counters.back();
+  impl_->counterByName.emplace(std::string(name), c);
+  return *c;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gaugeByName.find(std::string(name));
+  if (it != impl_->gaugeByName.end()) return *it->second;
+  impl_->gauges.emplace_back();
+  Gauge* g = &impl_->gauges.back();
+  impl_->gaugeByName.emplace(std::string(name), g);
+  return *g;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->histogramByName.find(std::string(name));
+  if (it != impl_->histogramByName.end()) return *it->second;
+  impl_->histograms.emplace_back();
+  Histogram* h = &impl_->histograms.back();
+  impl_->histogramByName.emplace(std::string(name), h);
+  return *h;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  out.samples.reserve(impl_->counterByName.size() +
+                      impl_->gaugeByName.size() +
+                      impl_->histogramByName.size());
+  for (const auto& [name, c] : impl_->counterByName) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kCounter;
+    s.value = c->get();
+    out.samples.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : impl_->gaugeByName) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kGauge;
+    s.value = g->get();
+    out.samples.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : impl_->histogramByName) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.hist = h->snapshot();
+    s.value = s.hist.count;
+    out.samples.push_back(std::move(s));
+  }
+  std::sort(out.samples.begin(), out.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (Counter& c : impl_->counters) c.reset();
+  for (Gauge& g : impl_->gauges) g.reset();
+  for (Histogram& h : impl_->histograms) h.reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace ssvsp::obs

@@ -1,0 +1,137 @@
+// Metrics registry: named counters, gauges and histograms with stable
+// references and deterministic, name-sorted snapshots.
+//
+// Registration (counter()/gauge()/histogram()) takes a lock and is meant
+// for cold paths; call sites cache the returned reference (the OBS_COUNTER
+// macros do this with a function-local static).  References stay valid for
+// the life of the registry — reset() zeroes values but never unregisters —
+// so cached pointers survive between sweeps.
+//
+// Updates are relaxed atomics: cheap, thread-safe, and order-free.  Whether
+// a metric's VALUE is deterministic is a property of what it counts, not of
+// this container: totals aggregated at sweep end from deterministic sweep
+// results (scripts visited, runs requested, violations) are bit-identical
+// for every thread count, while scheduling-dependent totals (rounds resumed
+// by a particular worker's arena, wall times) legitimately vary.  The
+// exporter groups names so consumers can tell the two apart (see
+// DESIGN.md §11).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssvsp::obs {
+
+class Counter {
+ public:
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  std::int64_t get() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  /// Monotone max update (e.g. peak queue depth).
+  void max(std::int64_t v) noexcept {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t get() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Power-of-two histogram: bucket i counts observations v with
+/// bit_width(max(v, 0)) == i, i.e. bucket 0 holds v <= 0, bucket i holds
+/// [2^(i-1), 2^i).  Fixed bucket count keeps observe() allocation-free and
+/// aggregation deterministic for a deterministic observation multiset.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(std::int64_t v) noexcept;
+
+  struct Snapshot {
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+    std::int64_t min = 0;  ///< 0 when count == 0
+    std::int64_t max = 0;
+    std::array<std::int64_t, kBuckets> buckets{};
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// One exported metric.  Histograms carry their full snapshot.
+struct MetricSample {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::int64_t value = 0;  ///< counter/gauge value
+  Histogram::Snapshot hist;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  ///< sorted by name
+
+  const MetricSample* find(std::string_view name) const;
+  /// Convenience: counter/gauge value by name, or `fallback` when absent.
+  std::int64_t value(std::string_view name, std::int64_t fallback = 0) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates; the reference is stable for the registry's life.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Name-sorted copy of every registered metric's current value.
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every value; registrations (and cached references) survive.
+  void reset();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// The process-wide registry every sweep publishes into.  Callers that
+/// want isolated aggregation can hold their own MetricsRegistry instead.
+MetricsRegistry& metrics();
+
+}  // namespace ssvsp::obs

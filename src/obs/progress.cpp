@@ -1,0 +1,105 @@
+#include "obs/progress.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ssvsp::obs {
+
+namespace {
+
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(Options options) : options_(std::move(options)) {
+  startNs_ = nowNs();
+  if (enabled()) {
+    nextEmitNs_.store(
+        startNs_ + static_cast<std::int64_t>(options_.intervalSec * 1e9),
+        std::memory_order_relaxed);
+  }
+}
+
+void ProgressMeter::update(std::int64_t scriptsDone) {
+  scriptsDone_.store(scriptsDone, std::memory_order_relaxed);
+  if (!enabled()) return;
+  const std::int64_t now = nowNs();
+  if (now < nextEmitNs_.load(std::memory_order_relaxed)) return;
+  // One reporter at a time; late arrivals skip rather than queue.
+  bool expected = false;
+  if (!emitting_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acquire)) {
+    return;
+  }
+  nextEmitNs_.store(
+      now + static_cast<std::int64_t>(options_.intervalSec * 1e9),
+      std::memory_order_relaxed);
+  emit(scriptsDone, /*final=*/false);
+  emitting_.store(false, std::memory_order_release);
+}
+
+void ProgressMeter::finish() {
+  if (!enabled() || !emittedAny_) return;
+  emit(scriptsDone_.load(std::memory_order_relaxed), /*final=*/true);
+}
+
+void ProgressMeter::emit(std::int64_t done, bool final) {
+  emittedAny_ = true;
+  const double elapsedSec =
+      static_cast<double>(nowNs() - startNs_) / 1e9;
+  const double rate = elapsedSec > 0 ? static_cast<double>(done) / elapsedSec
+                                     : 0.0;
+
+  char line[256];
+  int n = std::snprintf(line, sizeof line, "[ssvsp progress] %s: %lld",
+                        options_.label.c_str(),
+                        static_cast<long long>(done));
+  auto append = [&](const char* fmt, auto... args) {
+    if (n < 0 || static_cast<std::size_t>(n) >= sizeof line) return;
+    const int m = std::snprintf(line + n, sizeof line - n, fmt, args...);
+    if (m > 0) n += m;
+  };
+  if (options_.totalScripts > 0) {
+    append("/%lld scripts (%.1f%%)",
+           static_cast<long long>(options_.totalScripts),
+           100.0 * static_cast<double>(done) /
+               static_cast<double>(options_.totalScripts));
+  } else {
+    append(" scripts");
+  }
+  append(" | %.0f/s", rate);
+  if (options_.totalScripts > 0 && rate > 0 && !final) {
+    const double etaSec =
+        static_cast<double>(options_.totalScripts - done) / rate;
+    append(" | ETA %.1fs", etaSec);
+  }
+  if (final) append(" | done in %.1fs", elapsedSec);
+  if (options_.memoHits && options_.memoRequests) {
+    const std::int64_t requests = options_.memoRequests();
+    if (requests > 0) {
+      append(" | memo hit %.1f%%",
+             100.0 * static_cast<double>(options_.memoHits()) /
+                 static_cast<double>(requests));
+    }
+  }
+  std::fprintf(stderr, "%s\n", line);
+}
+
+double progressIntervalFromEnv() {
+  const char* env = std::getenv("SSVSP_PROGRESS");
+  if (env == nullptr || *env == '\0') return 0;
+  double sec = 0;
+  const char* end = env + std::strlen(env);
+  auto [ptr, ec] = std::from_chars(env, end, sec);
+  if (ec != std::errc{} || ptr != end || sec <= 0) return 0;
+  return sec;
+}
+
+}  // namespace ssvsp::obs

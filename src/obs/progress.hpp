@@ -1,0 +1,53 @@
+// Periodic stderr progress line for long sweeps: configs done / total,
+// throughput, ETA, memo hit rate.  Designed so the hot-path cost of an
+// update() is one relaxed store plus one relaxed load-and-compare; the
+// formatted line itself is emitted at most once per interval, under a
+// try-lock so concurrent reporters never queue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ssvsp::obs {
+
+class ProgressMeter {
+ public:
+  struct Options {
+    double intervalSec = 2.0;      ///< <= 0 disables output entirely
+    std::int64_t totalScripts = 0; ///< 0 = unknown (no percentage/ETA)
+    std::string label = "sweep";
+    /// Optional memo probes, sampled at emit time (cold path, may lock).
+    std::function<std::int64_t()> memoHits;
+    std::function<std::int64_t()> memoRequests;
+  };
+
+  explicit ProgressMeter(Options options);
+
+  /// Records the current completion count.  Safe to call concurrently from
+  /// sweep workers; only the caller that crosses the emit deadline pays for
+  /// formatting.
+  void update(std::int64_t scriptsDone);
+
+  /// Emits one final line (if enabled and anything was reported).
+  void finish();
+
+  bool enabled() const { return options_.intervalSec > 0; }
+
+ private:
+  void emit(std::int64_t done, bool final);
+
+  Options options_;
+  std::int64_t startNs_ = 0;
+  std::atomic<std::int64_t> scriptsDone_{0};
+  std::atomic<std::int64_t> nextEmitNs_{0};
+  std::atomic<bool> emitting_{false};
+  bool emittedAny_ = false;
+};
+
+/// Interval for sweeps whose spec leaves progress at the env default:
+/// SSVSP_PROGRESS=<seconds> enables the line, unset/empty/0 disables it.
+double progressIntervalFromEnv();
+
+}  // namespace ssvsp::obs

@@ -5,6 +5,7 @@
 #include <typeinfo>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace ssvsp {
@@ -142,6 +143,8 @@ void RoundEngine::beginFresh(const std::vector<Value>& initial) {
 }
 
 std::unique_ptr<RoundCheckpoint> RoundEngine::snapshot() const {
+  OBS_COUNTER_INC("engine.snapshots");
+  OBS_COUNTER_ADD("engine.clones", cfg_.n);
   auto cp = std::make_unique<RoundCheckpoint>();
   cp->round = result_.roundsExecuted;
   cp->automata.reserve(procs_.size());
@@ -329,6 +332,8 @@ void RoundEngine::execute(const std::vector<Value>& initial,
     const Round q = std::min<Round>(reusable,
                                     static_cast<Round>(chain_.size()));
     if (q >= 1) {
+      OBS_COUNTER_INC("engine.resumes");
+      OBS_HISTOGRAM("engine.resume_depth", q);
       restore(*chain_[static_cast<std::size_t>(q) - 1]);
       chain_.resize(static_cast<std::size_t>(q));
       stats_.roundsResumed += q;
@@ -358,6 +363,8 @@ void RoundEngine::resumeFrom(const RoundCheckpoint& cp,
   const ScriptValidity validity = validateScript(script, cfg_, model_);
   SSVSP_CHECK_MSG(validity.ok, "illegal script: " << validity.reason << " "
                                                   << script.toString());
+  OBS_COUNTER_INC("engine.resumes");
+  OBS_HISTOGRAM("engine.resume_depth", cp.round);
   restore(cp);
   // Drop stale snapshots past the resume point.  `cp` itself survives:
   // resize() only destroys entries past the new size, and cp.round <= size.

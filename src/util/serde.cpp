@@ -1,6 +1,11 @@
 #include "util/serde.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
 #include <sstream>
 
 namespace ssvsp {
@@ -50,6 +55,368 @@ std::string payloadToString(const Payload& p) {
   }
   os << ']';
   return os.str();
+}
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline(int depth) {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (int i = 0; i < depth * indent_; ++i) os_ << ' ';
+}
+
+void JsonWriter::beforeValue() {
+  if (stack_.empty()) {
+    SSVSP_CHECK_MSG(!rootWritten_, "JsonWriter: second root value");
+    rootWritten_ = true;
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    SSVSP_CHECK_MSG(keyPending_, "JsonWriter: object value without a key");
+    keyPending_ = false;
+    return;  // key() already emitted the separator
+  }
+  if (hasItems_.back()) os_ << ',';
+  hasItems_.back() = true;
+  newline(depth());
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  SSVSP_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                  "JsonWriter: key() outside an object");
+  SSVSP_CHECK_MSG(!keyPending_, "JsonWriter: two keys in a row");
+  if (hasItems_.back()) os_ << ',';
+  hasItems_.back() = true;
+  newline(depth());
+  os_ << '"' << jsonEscape(k) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  keyPending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  stack_.push_back(Scope::kObject);
+  hasItems_.push_back(false);
+  os_ << '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  SSVSP_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject,
+                  "JsonWriter: endObject() without beginObject()");
+  SSVSP_CHECK_MSG(!keyPending_, "JsonWriter: endObject() after a bare key");
+  const bool hadItems = hasItems_.back();
+  stack_.pop_back();
+  hasItems_.pop_back();
+  if (hadItems) newline(depth());
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  stack_.push_back(Scope::kArray);
+  hasItems_.push_back(false);
+  os_ << '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  SSVSP_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kArray,
+                  "JsonWriter: endArray() without beginArray()");
+  const bool hadItems = hasItems_.back();
+  stack_.pop_back();
+  hasItems_.pop_back();
+  if (hadItems) newline(depth());
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  beforeValue();
+  os_ << '"' << jsonEscape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  beforeValue();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  beforeValue();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  beforeValue();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  beforeValue();
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; null is the convention
+    os_ << "null";
+    return *this;
+  }
+  char buf[32];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v);  // shortest round-trip form
+  SSVSP_CHECK(ec == std::errc{});
+  os_ << std::string_view(buf, static_cast<std::size_t>(ptr - buf));
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  beforeValue();
+  os_ << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  beforeValue();
+  os_ << json;
+  return *this;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+namespace {
+
+/// Single-pass recursive-descent JSON parser over a string_view.  Depth is
+/// capped so hostile inputs cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    JsonValue v;
+    if (!parseValue(v, 0)) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    skipWs();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  bool fail(const std::string& reason) {
+    if (error_.empty())
+      error_ = "byte " + std::to_string(pos_) + ": " + reason;
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit)
+      return fail("unrecognized literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parseString(std::string& out) {
+    if (!consume('"')) return fail("expected '\"'");
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9')
+              cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad \\u escape digit");
+          }
+          // Encode as UTF-8; surrogate pairs are passed through unpaired
+          // (our writers only emit \u00xx control escapes).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parseNumber(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty()) return fail("expected a number");
+    out.kind = JsonValue::Kind::kNumber;
+    const auto [iptr, iec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), out.integer);
+    out.isInteger = iec == std::errc{} && iptr == tok.data() + tok.size();
+    const auto [dptr, dec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), out.number);
+    if (dec != std::errc{} || dptr != tok.data() + tok.size())
+      return fail("malformed number");
+    if (out.isInteger) out.number = static_cast<double>(out.integer);
+    return true;
+  }
+
+  bool parseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skipWs();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kObject;
+      skipWs();
+      if (consume('}')) return true;
+      while (true) {
+        skipWs();
+        std::string key;
+        if (!parseString(key)) return false;
+        skipWs();
+        if (!consume(':')) return fail("expected ':'");
+        JsonValue member;
+        if (!parseValue(member, depth + 1)) return false;
+        out.members.emplace_back(std::move(key), std::move(member));
+        skipWs();
+        if (consume(',')) continue;
+        if (consume('}')) return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kArray;
+      skipWs();
+      if (consume(']')) return true;
+      while (true) {
+        JsonValue item;
+        if (!parseValue(item, depth + 1)) return false;
+        out.items.push_back(std::move(item));
+        skipWs();
+        if (consume(',')) continue;
+        if (consume(']')) return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parseString(out.text);
+    }
+    if (c == 't') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return parseLiteral("true");
+    }
+    if (c == 'f') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return parseLiteral("false");
+    }
+    if (c == 'n') {
+      out.kind = JsonValue::Kind::kNull;
+      return parseLiteral("null");
+    }
+    return parseNumber(out);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string* error) {
+  return JsonParser(text).parse(error);
 }
 
 }  // namespace ssvsp

@@ -1,14 +1,24 @@
-// Payload encoding for simulated messages.
+// Serialization substrate: payload encoding for simulated messages, and the
+// shared JSON writer/reader every machine-readable artifact goes through.
 //
 // Messages in the step-level simulators carry an opaque vector of int32
 // words; algorithms encode their fields through PayloadWriter and decode
 // them through PayloadReader.  Keeping payloads as plain ints makes traces
 // printable and run comparison (indistinguishability arguments!) a plain
 // vector compare.
+//
+// JsonWriter is the one JSON emitter in the tree (lint diagnostics, analysis
+// reports, bench reports, obs trace/metrics exports all render through it);
+// JsonValue/parseJson is the matching reader, used by tests and the obs
+// artifact validator to round-trip what the writers emit.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"
@@ -62,5 +72,106 @@ class PayloadReader {
 
 /// Human-readable payload rendering for traces.
 std::string payloadToString(const Payload& p);
+
+/// JSON string escaping (quotes, backslashes, control characters), without
+/// the surrounding quotes.
+std::string jsonEscape(std::string_view s);
+
+/// Streaming JSON emitter with automatic comma/colon placement.
+///
+/// Compact by default — `"key":value` with no whitespace, byte-compatible
+/// with the hand-rolled emitters it replaced — or pretty-printed when
+/// constructed with an indent width.  Structural misuse (value without a
+/// pending key inside an object, unbalanced end*) trips SSVSP_CHECK.
+///
+///   JsonWriter w(os);
+///   w.beginObject().key("runs").value(42).key("cells").beginArray();
+///   for (...) w.value(name);
+///   w.endArray().endObject();
+class JsonWriter {
+ public:
+  /// Writes to `os`; indent = 0 emits compact JSON, indent > 0 pretty-prints
+  /// with that many spaces per nesting level.
+  explicit JsonWriter(std::ostream& os, int indent = 0)
+      : os_(os), indent_(indent) {}
+
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// The name of the next value inside an object.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const std::string& v) {
+    return value(std::string_view(v));
+  }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::int32_t v) { return value(std::int64_t{v}); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(double v);  ///< emitted with max round-trip precision
+  JsonWriter& null();
+
+  /// Splices pre-rendered JSON in as the next value.  The escape hatch for
+  /// composing with renderers that already return JSON text.
+  JsonWriter& raw(std::string_view json);
+
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    return key(k).value(std::forward<T>(v));
+  }
+
+  /// Nesting depth still open; 0 once the document is complete.
+  int depth() const { return static_cast<int>(stack_.size()); }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  void beforeValue();  ///< comma/newline/indent bookkeeping + key checks
+  void newline(int depth);
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Scope> stack_;
+  std::vector<bool> hasItems_;  ///< parallel to stack_
+  bool keyPending_ = false;
+  bool rootWritten_ = false;
+};
+
+/// A parsed JSON document — the reader half of the serde JSON layer.  Plain
+/// tree of tagged values; numbers keep both a double view and an exact
+/// int64 view when the text was integral.
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::int64_t integer = 0;  ///< valid when isInteger
+  bool isInteger = false;
+  std::string text;
+  std::vector<JsonValue> items;  ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+
+  bool isObject() const { return kind == Kind::kObject; }
+  bool isArray() const { return kind == Kind::kArray; }
+
+  /// Member lookup (first match); nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document.  Returns nullopt and fills `error`
+/// (when non-null) with a "byte N: reason" message on malformed input.
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string* error = nullptr);
 
 }  // namespace ssvsp
