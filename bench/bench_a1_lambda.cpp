@@ -120,10 +120,11 @@ BENCHMARK(timeA1Run)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  const int threads = ssvsp::bench::parseThreads(&argc, argv);
-  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
+  ssvsp::bench::BenchArgs args("bench_a1_lambda [--threads=N]",
+                               "Lambda(A1, f) exhaustive table (paper Fig. 4).");
+  args.parse(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
-    ssvsp::lambdaTable(threads);
+    ssvsp::lambdaTable(args.threads);
       }))
     return rc;
   return ssvsp::bench::runBenchmarks(argc, argv);

@@ -166,7 +166,10 @@ BENCHMARK(timeRotatingRun)->Arg(3)->Arg(5)->Arg(9);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
+  ssvsp::bench::BenchArgs args("bench_async_consensus",
+                               "Async consensus round/latency table.",
+                               /*sweeps=*/false);
+  args.parse(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
     ssvsp::table();
       }))

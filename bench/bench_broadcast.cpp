@@ -131,7 +131,10 @@ BENCHMARK(timeUrbRun)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
+  ssvsp::bench::BenchArgs args("bench_broadcast",
+                               "Broadcast latency and correctness tables.",
+                               /*sweeps=*/false);
+  args.parse(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
     ssvsp::latencyTable();
     ssvsp::correctnessTable();

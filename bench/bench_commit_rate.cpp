@@ -116,7 +116,10 @@ BENCHMARK(timeCommitRun)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
+  ssvsp::bench::BenchArgs args("bench_commit_rate",
+                               "Atomic-commit decision-rate table.",
+                               /*sweeps=*/false);
+  args.parse(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
     ssvsp::rateTable();
       }))

@@ -18,6 +18,7 @@
 #include "explore/spec.hpp"
 #include "lint/diagnostic.hpp"
 #include "obs/artifacts.hpp"
+#include "util/argspec.hpp"
 #include "util/table.hpp"
 #include "util/types.hpp"
 
@@ -42,60 +43,52 @@ int guarded(Fn&& fn) {
   }
 }
 
-/// Extracts `--threads=N` (or `--threads N`) from argv, removing it so the
-/// remaining flags can go to google-benchmark untouched.  Returns N, or
-/// `fallback` when absent.  N = 0 means one worker per hardware thread
-/// (ExploreSpec convention); every experiment table is bit-identical for
-/// every value, so benches default to the full machine.
-inline int parseThreads(int* argc, char** argv, int fallback = 0) {
-  int threads = fallback;
-  int w = 1;
-  for (int i = 1; i < *argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = std::atoi(argv[i] + 10);
-      continue;
-    }
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < *argc) {
-      threads = std::atoi(argv[i + 1]);
-      ++i;
-      continue;
-    }
-    argv[w++] = argv[i];
-  }
-  *argc = w;
-  return threads;
-}
-
-/// RAII wrapper around obs::ArtifactSession for bench mains: strips the
-/// --trace-out= / --metrics-out= / --progress= flags from argv (so the rest
-/// can go to google-benchmark untouched), starts the trace session, and
-/// writes the artifacts when the bench exits.
-///
-///   int main(int argc, char** argv) {
-///     const int threads = ssvsp::bench::parseThreads(&argc, argv);
-///     ssvsp::bench::ObsArtifacts obs(&argc, argv);
-///     ...
-///   }
-class ObsArtifacts {
+/// The ArgSpec front-end shared by the bench mains: registers --threads
+/// (when the bench sweeps), routes the obs artifact family
+/// (--trace-out/--metrics-out/--progress) into an ArtifactSession, and
+/// passes --benchmark_* through to google-benchmark.  Construct, register
+/// any bench-specific flags via spec(), then parse(); the artifact session
+/// begins at parse() and finishes (writing artifacts) when the guard goes
+/// out of scope — the same lifetime the old ObsArtifacts wrapper had.
+class BenchArgs {
  public:
-  ObsArtifacts(int* argc, char** argv) {
-    int w = 1;
-    for (int i = 1; i < *argc; ++i) {
-      if (session_.parseArg(argv[i])) continue;
-      argv[w++] = argv[i];
-    }
-    *argc = w;
-    session_.begin();
+  explicit BenchArgs(std::string usage, std::string description = "",
+                     bool sweeps = true)
+      : spec_(std::move(usage), std::move(description)) {
+    if (sweeps)
+      spec_.value("threads", &threads,
+                  "sweep worker threads (0 = one per hardware thread)");
+    spec_.consumer(
+        [this](std::string_view arg) { return session_.parseArg(arg); });
+    spec_.passthroughPrefix("--benchmark_");
   }
-  ~ObsArtifacts() { session_.finish(std::cerr); }
-  ObsArtifacts(const ObsArtifacts&) = delete;
-  ObsArtifacts& operator=(const ObsArtifacts&) = delete;
+  ~BenchArgs() {
+    if (begun_) session_.finish(std::cerr);
+  }
+  BenchArgs(const BenchArgs&) = delete;
+  BenchArgs& operator=(const BenchArgs&) = delete;
+
+  ArgSpec& spec() { return spec_; }
+
+  /// parse() + artifact session start.  Exits on --help / bad flags
+  /// (ArgSpec contract), so anything after this call holds parsed flags.
+  void parse(int* argc, char** argv) {
+    spec_.parse(argc, argv);
+    session_.begin();
+    begun_ = true;
+  }
 
   /// Forward to ExploreSpec::progressIntervalSec (-1 = env default).
   double progressSec() const { return session_.progressSec(); }
 
+  /// Sweep worker threads; ExploreSpec convention (0 = full machine).
+  /// Preset before parse() to change the bench's default.
+  int threads = 0;
+
  private:
+  ArgSpec spec_;
   obs::ArtifactSession session_;
+  bool begun_ = false;
 };
 
 /// Wall-clock of one sweep invocation, in seconds.

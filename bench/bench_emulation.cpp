@@ -183,7 +183,10 @@ BENCHMARK(timeRsEmulatedRound)->Arg(3)->Arg(6)->Arg(12);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
+  ssvsp::bench::BenchArgs args("bench_emulation",
+                               "RS/RWS emulation cost tables.",
+                               /*sweeps=*/false);
+  args.parse(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
     ssvsp::costTable();
     ssvsp::rsEndToEnd();

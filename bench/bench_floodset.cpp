@@ -111,10 +111,11 @@ BENCHMARK(timeFloodSetRun)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  const int threads = ssvsp::bench::parseThreads(&argc, argv);
-  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
+  ssvsp::bench::BenchArgs args("bench_floodset [--threads=N]",
+                               "FloodSet exhaustive sweep table.");
+  args.parse(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
-    ssvsp::sweepTable(threads);
+    ssvsp::sweepTable(args.threads);
       }))
     return rc;
   return ssvsp::bench::runBenchmarks(argc, argv);

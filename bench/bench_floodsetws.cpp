@@ -160,10 +160,11 @@ BENCHMARK(timeFloodSetWsRun)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  const int threads = ssvsp::bench::parseThreads(&argc, argv);
-  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
+  ssvsp::bench::BenchArgs args("bench_floodsetws [--threads=N]",
+                               "FloodSetWS exhaustive sweep and speedup tables.");
+  args.parse(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
-    ssvsp::sweepTable(threads);
+    ssvsp::sweepTable(args.threads);
     ssvsp::speedupTable();
       }))
     return rc;

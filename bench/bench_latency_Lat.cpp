@@ -91,10 +91,11 @@ BENCHMARK(timeFOptRun)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  const int threads = ssvsp::bench::parseThreads(&argc, argv);
-  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
+  ssvsp::bench::BenchArgs args("bench_latency_Lat [--threads=N]",
+                               "LatMax(A) exhaustive table.");
+  args.parse(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
-    ssvsp::latMaxTable(threads);
+    ssvsp::latMaxTable(args.threads);
       }))
     return rc;
   return ssvsp::bench::runBenchmarks(argc, argv);

@@ -70,10 +70,11 @@ BENCHMARK(timeLatencyProfile);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  const int threads = ssvsp::bench::parseThreads(&argc, argv);
-  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
+  ssvsp::bench::BenchArgs args("bench_latency_lat [--threads=N]",
+                               "Lat(A, f) exhaustive table.");
+  args.parse(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
-    ssvsp::latTable(threads);
+    ssvsp::latTable(args.threads);
       }))
     return rc;
   return ssvsp::bench::runBenchmarks(argc, argv);

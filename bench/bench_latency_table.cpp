@@ -76,10 +76,11 @@ BENCHMARK(timeSummary);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  const int threads = ssvsp::bench::parseThreads(&argc, argv);
-  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
+  ssvsp::bench::BenchArgs args("bench_latency_table [--threads=N]",
+                               "Combined latency-degree table.");
+  args.parse(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
-    ssvsp::run(threads);
+    ssvsp::run(args.threads);
       }))
     return rc;
   return ssvsp::bench::runBenchmarks(argc, argv);

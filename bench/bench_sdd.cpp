@@ -123,7 +123,10 @@ BENCHMARK(timeSddSsRun);
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
+  ssvsp::bench::BenchArgs args("bench_sdd",
+                               "SDD strong/simple-dependency tables.",
+                               /*sweeps=*/false);
+  args.parse(&argc, argv);
   if (const int rc = ssvsp::bench::guarded([&] {
     ssvsp::ssTable();
     ssvsp::spTable();

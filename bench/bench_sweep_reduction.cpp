@@ -13,13 +13,24 @@
 // see DESIGN.md §10); the table and BENCH_sweep.json record wall-clock,
 // scripts/s, runs/s, the memo reduction factor and peak RSS.
 //
+// The `campaign` section additionally measures the campaign layer on one
+// cell: a cold 2-worker campaign whose shard-1 worker is chaos-SIGKILLed
+// mid-shard (and the slice reassigned), checked bit-identical against the
+// single-process in-memory sweep, then re-swept against the warm memo
+// store; full mode requires the warm pass >= 5x faster than cold on the
+// rws-n4 acceptance cell (smoke: >= 2x).
+//
 // Flags:
-//   --smoke       one small RS cell only; exits non-zero unless the reduced
-//                 sweep is >= 2x faster than the pooled one (the CI gate).
-//   --out=PATH    where to write the JSON report (default BENCH_sweep.json).
-//   --threads=N   worker count for the pooled/reduced sweeps (default 1, so
-//                 speedups measure the reduction stack, not parallelism;
-//                 the legacy baseline is inherently serial).
+//   --smoke          one small RS cell only; exits non-zero unless the
+//                    reduced sweep is >= 2x faster than the pooled one
+//                    (the CI gate).
+//   --out=PATH       where to write the JSON report (default
+//                    BENCH_sweep.json).
+//   --campaign-dir=D scratch dir for the campaign section (default
+//                    bench_campaign_e8; scrubbed before use).
+//   --threads=N      worker count for the pooled/reduced sweeps (default 1,
+//                    so speedups measure the reduction stack, not
+//                    parallelism; the legacy baseline is inherently serial).
 #include "bench_common.hpp"
 
 #include <sys/resource.h>
@@ -29,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hpp"
 #include "consensus/registry.hpp"
 #include "explore/reduction.hpp"
 #include "mc/checker.hpp"
@@ -166,6 +178,91 @@ CellResult runCell(const Cell& cell, int threads) {
   return res;
 }
 
+/// The campaign-layer measurement: cold multi-process sweep (with a
+/// chaos-killed worker), bit-identity against the in-memory sweep, and the
+/// warm-store re-sweep.
+struct CampaignOutcome {
+  Cell cell;
+  double coldSecs = 0;
+  double warmSecs = 0;
+  bool coldOk = false;
+  bool warmOk = false;
+  bool identicalToInMemory = false;  ///< cold merged == single-process sweep
+  bool identicalWarm = false;        ///< warm merged == cold merged
+  int workerDeaths = 0;
+  std::int64_t memoEntriesAppended = 0;
+  std::int64_t memoEntriesLoaded = 0;  ///< replayed by the warm pass
+  std::string error;
+
+  double warmSpeedup() const {
+    return warmSecs > 0 ? coldSecs / warmSecs : 0;
+  }
+};
+
+CampaignOutcome runCampaignCell(const Cell& cell, const std::string& dir) {
+  CampaignOutcome out;
+  out.cell = cell;
+
+  // Scrub any previous invocation's state: the cold pass must be cold.
+  std::remove((dir + "/manifest.json").c_str());
+  std::remove((dir + "/memo.log").c_str());
+
+  CampaignSpec spec;
+  spec.algorithm = cell.algo;
+  spec.n = cell.n;
+  spec.t = cell.t;
+  spec.maxScripts = cell.maxScripts;
+
+  CampaignOptions options;
+  options.dir = dir;
+  options.workers = 2;
+  options.chaosKillShard = 1;  // SIGKILL one worker mid-shard, survive it
+
+  CampaignResult cold;
+  out.coldSecs = bench::wallSeconds([&] { cold = runCampaign(spec, options); });
+  out.coldOk = cold.ok;
+  out.workerDeaths = cold.workerDeaths;
+  out.memoEntriesAppended = cold.memoEntriesAppended;
+  if (!cold.ok) {
+    out.error = cold.error;
+    return out;
+  }
+
+  // The ground truth: the same spec swept single-process, in memory.  The
+  // campaign manifest carries the derived sweep options, so the reference
+  // is per construction over the same space.
+  std::string error;
+  const std::optional<CampaignManifest> manifest =
+      campaignStatus(dir, &error);
+  if (!manifest) {
+    out.error = error;
+    return out;
+  }
+  McCheckOptions ref = manifest->shardOptions(0);
+  ref.shard = ShardRange{};  // the whole stream
+  const McReport inMemory =
+      modelCheckConsensus(algorithmByName(cell.algo).factory,
+                          RoundConfig{cell.n, cell.t}, manifest->model, ref);
+  out.identicalToInMemory =
+      inMemory.toJsonString() == cold.report.toJsonString();
+
+  // Warm pass: drop the ledger but keep the memo store, so every shard is
+  // re-swept and every orbit hits.  Same worker topology as the cold pass
+  // (minus the chaos) — the speedup is the store's doing, nothing else's.
+  std::remove((dir + "/manifest.json").c_str());
+  options.chaosKillShard = -1;
+  CampaignResult warm;
+  out.warmSecs = bench::wallSeconds([&] { warm = runCampaign(spec, options); });
+  out.warmOk = warm.ok;
+  if (!warm.ok) {
+    out.error = warm.error;
+    return out;
+  }
+  out.identicalWarm = warm.report.toJsonString() == cold.report.toJsonString();
+  out.memoEntriesLoaded = warm.memoEntriesLoaded;
+  return out;
+}
+
 std::string fmtSecs(double s) {
   std::ostringstream os;
   os.precision(3);
@@ -195,8 +292,21 @@ void printTable(const std::vector<CellResult>& results) {
   table.print(std::cout);
 }
 
-void writeJson(const std::vector<CellResult>& results, int threads,
-               bool smoke, const std::string& path) {
+void printCampaignTable(const CampaignOutcome& c, double requiredSpeedup) {
+  Table table({"cell", "cold s", "warm s", "warm speedup", "required",
+               "deaths survived", "identical (in-mem)", "identical (warm)"});
+  table.addRowValues(c.cell.name, fmtSecs(c.coldSecs), fmtSecs(c.warmSecs),
+                     fmtX(c.warmSpeedup()), fmtX(requiredSpeedup),
+                     c.workerDeaths, bench::checkMark(c.identicalToInMemory),
+                     bench::checkMark(c.identicalWarm));
+  std::cout << "\ncampaign layer (2 workers, one chaos-SIGKILLed "
+               "mid-shard):\n";
+  table.print(std::cout);
+}
+
+void writeJson(const std::vector<CellResult>& results,
+               const CampaignOutcome& campaign, double requiredWarmSpeedup,
+               int threads, bool smoke, const std::string& path) {
   const auto perSec = [](std::int64_t count, double secs) {
     return secs > 0 ? static_cast<double>(count) / secs : 0.0;
   };
@@ -239,13 +349,8 @@ void writeJson(const std::vector<CellResult>& results, int threads,
     w.kv("speedup_vs_legacy", r.speedupReduced());
     w.kv("speedup_vs_pooled", r.speedupReducedVsPooled());
     w.kv("reduction_factor", r.reductionFactor());
-    w.kv("runs_requested", r.stats.runsRequested);
-    w.kv("runs_from_memo", r.stats.runsFromMemo);
-    w.kv("runs_executed", r.stats.runsExecuted);
-    w.kv("runs_reused_in_engine", r.stats.runsReusedInEngine);
-    w.kv("rounds_executed", r.stats.roundsExecuted);
-    w.kv("rounds_resumed", r.stats.roundsResumed);
-    w.kv("memo_entries", r.stats.memoEntries);
+    w.key("stats");
+    r.stats.toJson(w);  // the ssvsp.report.v1 sweep_run_stats document
     w.endObject();
 
     if (r.cell.requiredSpeedupVsLegacy > 0) {
@@ -258,6 +363,22 @@ void writeJson(const std::vector<CellResult>& results, int threads,
     w.endObject();
   }
   w.endArray();
+
+  w.key("campaign").beginObject();
+  w.kv("cell", campaign.cell.name);
+  w.kv("workers", 2);
+  w.kv("chaos_killed_worker", true);
+  w.kv("cold_wall_s", campaign.coldSecs);
+  w.kv("warm_wall_s", campaign.warmSecs);
+  w.kv("warm_speedup", campaign.warmSpeedup());
+  w.kv("required_warm_speedup", requiredWarmSpeedup);
+  w.kv("worker_deaths_survived", std::int64_t{campaign.workerDeaths});
+  w.kv("identical_to_in_memory", campaign.identicalToInMemory);
+  w.kv("identical_warm", campaign.identicalWarm);
+  w.kv("memo_entries_appended", campaign.memoEntriesAppended);
+  w.kv("memo_entries_loaded_warm", campaign.memoEntriesLoaded);
+  w.endObject();
+
   w.endObject();
   out << "\n";
   std::cout << "\nwrote " << path << " (peak RSS " << peakRssKb()
@@ -281,21 +402,55 @@ std::vector<Cell> smokeCells() {
   return {{"smoke-rs-n5", "FloodSet", 5, 2, RoundModel::kRs, 20000, 0}};
 }
 
-int run(int threads, bool smoke, const std::string& outPath) {
+int run(int threads, bool smoke, const std::string& outPath,
+        const std::string& campaignDir) {
   bench::printHeader(
       smoke ? "E8 (smoke) — sweep reduction stack"
             : "E8 — sweep reduction stack (legacy vs pooled vs reduced)",
       "reduced sweeps are bit-identical to unreduced ones and strictly "
       "cheaper");
 
+  const std::vector<Cell> cells = smoke ? smokeCells() : fullCells();
   std::vector<CellResult> results;
-  for (const Cell& cell : smoke ? smokeCells() : fullCells())
-    results.push_back(runCell(cell, threads));
+  for (const Cell& cell : cells) results.push_back(runCell(cell, threads));
+
+  // Campaign layer: the rws-n4 acceptance cell in full mode (warm >= 5x),
+  // the smoke cell under the CI gate (warm >= 2x).
+  const double requiredWarmSpeedup = smoke ? 2.0 : 5.0;
+  Cell campaignCell = cells.front();
+  for (const Cell& cell : cells)
+    if (cell.name == "rws-n4") campaignCell = cell;
+  CampaignOutcome campaign = runCampaignCell(campaignCell, campaignDir);
 
   printTable(results);
-  writeJson(results, threads, smoke, outPath);
+  printCampaignTable(campaign, requiredWarmSpeedup);
+  writeJson(results, campaign, requiredWarmSpeedup, threads, smoke, outPath);
 
   int rc = 0;
+  if (!campaign.coldOk || !campaign.warmOk) {
+    std::cerr << "FAIL: campaign section: " << campaign.error << "\n";
+    rc = 1;
+  } else {
+    if (!campaign.identicalToInMemory) {
+      std::cerr << "FAIL: campaign merged report differs from the "
+                   "in-memory sweep\n";
+      rc = 1;
+    }
+    if (!campaign.identicalWarm) {
+      std::cerr << "FAIL: warm campaign report differs from the cold one\n";
+      rc = 1;
+    }
+    if (campaign.workerDeaths < 1) {
+      std::cerr << "FAIL: chaos kill did not register a worker death\n";
+      rc = 1;
+    }
+    if (campaign.warmSpeedup() < requiredWarmSpeedup) {
+      std::cerr << "FAIL: warm campaign only " << fmtX(campaign.warmSpeedup())
+                << " faster than cold (need >= "
+                << fmtX(requiredWarmSpeedup) << ")\n";
+      rc = 1;
+    }
+  }
   for (const CellResult& r : results) {
     if (!r.identicalReports) {
       std::cerr << "FAIL: cell " << r.cell.name
@@ -323,23 +478,22 @@ int run(int threads, bool smoke, const std::string& outPath) {
 }  // namespace ssvsp
 
 int main(int argc, char** argv) {
-  const int threads = ssvsp::bench::parseThreads(&argc, argv, 1);
-  ssvsp::bench::ObsArtifacts obsArtifacts(&argc, argv);
+  ssvsp::bench::BenchArgs args("bench_sweep_reduction [options]",
+                               "E8: the sweep engine's reduction stack and "
+                               "the campaign layer on top of it.");
+  args.threads = 1;  // speedups measure the stack, not parallelism
   bool smoke = false;
   std::string outPath = "BENCH_sweep.json";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--smoke") {
-      smoke = true;
-    } else if (arg.rfind("--out=", 0) == 0) {
-      outPath = arg.substr(6);
-    } else if (arg == "--out" && i + 1 < argc) {
-      outPath = argv[++i];
-    }
-  }
+  std::string campaignDir = "bench_campaign_e8";
+  args.spec()
+      .flag("smoke", &smoke, "one small RS cell + the 2x CI gates")
+      .value("out", &outPath, "JSON report path")
+      .value("campaign-dir", &campaignDir,
+             "scratch dir for the campaign section (scrubbed)");
+  args.parse(&argc, argv);
   int rc = 1;
   if (const int guard = ssvsp::bench::guarded(
-          [&] { rc = ssvsp::run(threads, smoke, outPath); }))
+          [&] { rc = ssvsp::run(args.threads, smoke, outPath, campaignDir); }))
     return guard;
   return rc;
 }

@@ -17,7 +17,7 @@
 // --trace-out writes a Chrome trace (spans require -DSSVSP_OBS=ON),
 // --metrics-out the sweep's metrics JSON, --progress=S a stderr progress
 // line every S seconds.
-#include <cstring>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -26,6 +26,7 @@
 #include "lint/diagnostic.hpp"
 #include "mc/checker.hpp"
 #include "obs/artifacts.hpp"
+#include "util/argspec.hpp"
 
 namespace {
 
@@ -45,23 +46,26 @@ int usage() {
 
 int main(int argc, char** argv) {
   using namespace ssvsp;
-  if (argc < 4) return usage();
-
-  const std::string name = argv[1];
-  const int n = std::atoi(argv[2]);
-  const int t = std::atoi(argv[3]);
+  std::string name, nText, tText;
   bool sampled = false, check = false;
   int threads = 0;  // one worker per hardware thread
   obs::ArtifactSession artifacts;
-  for (int i = 4; i < argc; ++i) {
-    if (artifacts.parseArg(argv[i])) continue;
-    if (std::strcmp(argv[i], "--sampled") == 0) sampled = true;
-    if (std::strcmp(argv[i], "--check") == 0) check = true;
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-      threads = std::atoi(argv[++i]);
-    else if (std::strncmp(argv[i], "--threads=", 10) == 0)
-      threads = std::atoi(argv[i] + 10);
-  }
+  ArgSpec args(
+      "latency_explorer <algorithm> <n> <t> [options]",
+      "Measure lat(A), Lat(A), Lambda(A) and Lat(A, f) for a registered "
+      "algorithm (run with no arguments to list them).");
+  args.positional("algorithm", &name, "registry name", /*required=*/false)
+      .positional("n", &nText, "number of processes", /*required=*/false)
+      .positional("t", &tText, "crash-resilience bound", /*required=*/false)
+      .flag("sampled", &sampled, "sampled profile instead of exhaustive")
+      .flag("check", &check, "also run the exhaustive spec check")
+      .value("threads", &threads,
+             "sweep worker threads (0 = one per hardware thread)")
+      .consumer([&](std::string_view arg) { return artifacts.parseArg(arg); });
+  args.parse(&argc, argv);
+  if (name.empty() || nText.empty() || tText.empty()) return usage();
+  const int n = std::atoi(nText.c_str());
+  const int t = std::atoi(tText.c_str());
   if (n < 2 || n > kMaxProcs || t < 0 || t >= n) {
     std::cout << "need 2 <= n <= " << kMaxProcs << " and 0 <= t < n\n";
     return 2;

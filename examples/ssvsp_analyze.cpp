@@ -16,7 +16,6 @@
 // Exit status: 0 clean, 1 when a finding trips the --fail-on threshold
 // (errors by default), 2 on usage problems, 3 when a sweep preflight
 // rejects its spec.
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,6 +23,7 @@
 #include "analysis/analysis.hpp"
 #include "lint/lint.hpp"
 #include "obs/artifacts.hpp"
+#include "util/argspec.hpp"
 
 namespace {
 
@@ -46,33 +46,33 @@ int usage() {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool noGolden = false;
+  std::string failOnText;
   FailOn failOn = FailOn::kError;
   AnalysisOptions options;
   std::vector<std::string> names;
   obs::ArtifactSession artifacts;
 
-  for (int i = 1; i < argc; ++i) {
-    if (artifacts.parseArg(argv[i])) {
-      options.progressIntervalSec = artifacts.progressSec();
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else if (std::strcmp(argv[i], "--check-measured") == 0) {
-      options.checkMeasured = true;
-    } else if (std::strcmp(argv[i], "--no-golden") == 0) {
-      options.checkGolden = false;
-    } else if (std::strncmp(argv[i], "--fail-on=", 10) == 0) {
-      if (!parseFailOn(argv[i] + 10, &failOn)) return usage();
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
-      if (++i >= argc) return usage();
-      options.threads = std::atoi(argv[i]);
-    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      options.threads = std::atoi(argv[i] + 10);
-    } else if (std::strncmp(argv[i], "--", 2) == 0) {
-      return usage();
-    } else {
-      names.emplace_back(argv[i]);
-    }
-  }
+  ArgSpec args("ssvsp_analyze [options] [algorithm ...]",
+               "Derive and cross-check the paper's latency bounds for the "
+               "registered algorithms (default: all of them).");
+  args.flag("json", &json, "machine-readable reports")
+      .flag("check-measured", &options.checkMeasured,
+            "cross-check against exhaustive measured sweeps")
+      .flag("no-golden", &noGolden, "skip the golden-table check")
+      .value("fail-on", &failOnText, "exit-1 threshold: error|warning")
+      .value("threads", &options.threads,
+             "sweep worker threads (0 = one per hardware thread)")
+      .rest("algorithm", &names, "registry names to analyze")
+      .consumer([&](std::string_view arg) {
+        if (!artifacts.parseArg(arg)) return false;
+        options.progressIntervalSec = artifacts.progressSec();
+        return true;
+      });
+  args.parse(&argc, argv);
+  options.checkGolden = !noGolden;
+  if (!failOnText.empty() && !parseFailOn(failOnText.c_str(), &failOn))
+    return usage();
 
   std::vector<const AlgorithmEntry*> entries;
   if (names.empty()) {

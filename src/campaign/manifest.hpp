@@ -1,0 +1,77 @@
+// Campaign manifest: the durable ledger of one sharded sweep campaign.
+//
+// A campaign decomposes the exhaustive sweep of one cell — an algorithm at
+// (n, t) in its model — into ShardRange slices of the canonical script
+// stream (see explore/spec.hpp).  The manifest records the full sweep spec
+// plus, per shard, whether it is done and (if so) its McReport.  Because
+// shard sweeps keep GLOBAL script indices, folding the per-shard reports in
+// range order with mergeMcReports reproduces the single-process sweep's
+// report bit for bit.
+//
+// The orchestrator (campaign.hpp) is the only writer: it saves the manifest
+// atomically (tmp + rename) after every shard completion, so a campaign
+// killed at ANY point — including SIGKILL — resumes by rerunning only the
+// shards not yet recorded as done.  Shard workers never touch the manifest;
+// they hand their report to the orchestrator through a result file.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "explore/spec.hpp"
+#include "mc/checker.hpp"
+#include "rounds/failure_script.hpp"
+
+namespace ssvsp {
+
+struct ShardEntry {
+  ShardRange range;
+  bool done = false;
+  /// The shard's sweep report (global script indices); meaningful only when
+  /// done.
+  McReport report;
+};
+
+struct CampaignManifest {
+  /// Registry name of the algorithm under sweep.
+  std::string algorithm;
+  int n = 3;
+  int t = 1;
+  RoundModel model = RoundModel::kRs;
+
+  /// The sweep spec every shard executes a slice of.  Persisted in full so
+  /// `resume` and `query` need nothing but the campaign directory.
+  EnumOptions enumeration;
+  int valueDomain = 2;
+  int horizonSlack = 2;
+  Reduction reduction = Reduction::kNone;
+  int symmetryFixedIds = 0;
+  int maxViolations = 4;
+
+  std::int64_t totalScripts = 0;
+  std::int64_t shardScripts = 0;
+  std::vector<ShardEntry> shards;
+
+  int pendingCount() const;
+  bool complete() const { return pendingCount() == 0; }
+
+  /// Folds the done shards' reports in range order; requires complete().
+  McReport mergedReport() const;
+
+  /// The McCheckOptions of shard `index`'s slice (threads = 1 — campaign
+  /// parallelism is across processes, not threads).
+  McCheckOptions shardOptions(std::size_t index) const;
+
+  std::string toJsonString() const;
+  static std::optional<CampaignManifest> fromJsonString(
+      std::string_view text, std::string* error = nullptr);
+
+  /// Atomic save: write to `path`.tmp, fsync, rename over `path`.
+  bool save(const std::string& path, std::string* error = nullptr) const;
+  static std::optional<CampaignManifest> load(const std::string& path,
+                                              std::string* error = nullptr);
+};
+
+}  // namespace ssvsp

@@ -1,0 +1,219 @@
+#include "campaign/store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <utility>
+
+#include "util/serde.hpp"
+
+namespace ssvsp {
+
+namespace {
+
+// Log layout: 8-byte magic, then records.  Record frame:
+//   u32 bodyLen | body | u64 fnv1a64(body)
+// body = u8 type | type-specific payload (RecordWriter encoding).
+constexpr char kMagic[8] = {'S', 'S', 'V', 'S', 'P', 'M', 'L', '1'};
+constexpr std::uint8_t kRecSummary = 1;
+constexpr std::uint8_t kRecFooter = 2;
+
+bool setError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+/// Frames one record body into `out`.
+void frame(std::string& out, const std::string& body) {
+  RecordWriter w(out);
+  w.putU32(static_cast<std::uint32_t>(body.size()));
+  out.append(body);
+  w.putU64(fnv1a64(body));
+}
+
+/// write() the whole buffer, retrying partial writes.  O_APPEND makes each
+/// write() an atomic append; a batch is one call in the common case, so
+/// concurrent writers interleave between batches, never inside records.
+bool writeAll(int fd, std::string_view bytes, std::string* error) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return setError(error, std::string("memo store write: ") +
+                                 std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::unique_ptr<MemoStore> MemoStore::open(const std::string& path,
+                                           std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    setError(error, "memo store open '" + path + "': " + std::strerror(errno));
+    return nullptr;
+  }
+  std::unique_ptr<MemoStore> store(new MemoStore(path, fd));
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    setError(error, "memo store stat: " + std::string(std::strerror(errno)));
+    return nullptr;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    // Fresh log: write the header now so readers can always demand it.
+    if (!writeAll(fd, std::string_view(kMagic, sizeof(kMagic)), error))
+      return nullptr;
+    return store;
+  }
+  if (size < sizeof(kMagic)) {
+    setError(error, "memo store '" + path + "': truncated header");
+    return nullptr;
+  }
+
+  // Replay through a read-only mapping; record data is only trusted after
+  // its frame checksum verifies.
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (map == MAP_FAILED) {
+    setError(error, "memo store mmap: " + std::string(std::strerror(errno)));
+    return nullptr;
+  }
+  const std::string_view bytes(static_cast<const char*>(map), size);
+  bool corrupt = false;
+  std::size_t good = 0;  ///< offset just past the last intact record
+  if (bytes.substr(0, sizeof(kMagic)) !=
+      std::string_view(kMagic, sizeof(kMagic))) {
+    corrupt = true;
+    setError(error, "memo store '" + path + "': bad magic");
+  } else {
+    good = sizeof(kMagic);
+    // Summary records since the writer's last footer; a footer closes its
+    // writer's segment by asserting this count.
+    std::map<std::uint32_t, std::int64_t> openSegment;
+    std::size_t off = sizeof(kMagic);
+    while (off < size) {
+      RecordReader probe(bytes.substr(off));
+      const std::string_view body = probe.getBytes();
+      const std::uint64_t checksum = probe.getU64();
+      if (!probe.ok() || checksum != fnv1a64(body)) break;  // torn tail
+      RecordReader rec(body);
+      const std::uint8_t type = rec.getU8();
+      if (type == kRecSummary) {
+        const std::string_view key = rec.getBytes();
+        const std::uint32_t writer = rec.getU32();
+        RunSummary summary;
+        summary.latency = rec.getI32();
+        summary.consensusOk = rec.getU8() != 0;
+        if (!rec.ok() || !rec.exhausted()) break;  // torn tail
+        store->RunMemo::insert(std::string(key), summary);
+        ++openSegment[writer];
+        ++store->openStats_.entriesLoaded;
+      } else if (type == kRecFooter) {
+        const std::uint32_t writer = rec.getU32();
+        const std::int64_t count = rec.getI64();
+        if (!rec.ok() || !rec.exhausted()) break;
+        if (openSegment[writer] != count) {
+          // A checksum-valid footer disagreeing with the replayed count is
+          // damage in the MIDDLE of the log, not a torn tail — records
+          // before it were silently lost, so refuse the store.
+          corrupt = true;
+          setError(error, "memo store '" + path +
+                              "': footer count mismatch (log damaged)");
+          break;
+        }
+        openSegment[writer] = 0;
+        ++store->openStats_.footersSeen;
+      } else {
+        break;  // unknown type: treat as torn tail
+      }
+      off += probe.pos();
+      good = off;
+    }
+  }
+  ::munmap(map, size);
+  if (corrupt) return nullptr;
+
+  if (good < size) {
+    store->openStats_.bytesTruncated = static_cast<std::int64_t>(size - good);
+    if (::ftruncate(fd, static_cast<off_t>(good)) != 0) {
+      setError(error,
+               "memo store repair: " + std::string(std::strerror(errno)));
+      return nullptr;
+    }
+  }
+  return store;
+}
+
+MemoStore::~MemoStore() {
+  flush(/*sync=*/false);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint32_t MemoStore::currentWriterId() {
+  // Derived lazily, at first use, so a handle inherited across fork() stamps
+  // records with the CHILD's identity, not the parent's.  The time mix keeps
+  // recycled pids from colliding across invocations (a collision would only
+  // risk a false footer-count mismatch, never bad data).
+  if (writerId_ == 0)
+    writerId_ = static_cast<std::uint32_t>(::getpid()) ^
+                (static_cast<std::uint32_t>(::time(nullptr)) << 16);
+  return writerId_;
+}
+
+void MemoStore::insert(const std::string& key, const RunSummary& summary) {
+  RunMemo::insert(key, summary);
+  std::string body;
+  RecordWriter w(body);
+  w.putU8(kRecSummary).putBytes(key).putU32(currentWriterId());
+  w.putI32(summary.latency).putU8(summary.consensusOk ? 1 : 0);
+  std::lock_guard<std::mutex> lock(pendingMu_);
+  frame(pending_, body);
+  ++entriesAppended_;
+  ++entriesInSegment_;
+}
+
+bool MemoStore::flush(bool sync, std::string* error) {
+  std::string batch;
+  {
+    std::lock_guard<std::mutex> lock(pendingMu_);
+    batch.swap(pending_);
+  }
+  if (!batch.empty() && !writeAll(fd_, batch, error)) return false;
+  if (sync && ::fdatasync(fd_) != 0)
+    return setError(error,
+                    "memo store sync: " + std::string(std::strerror(errno)));
+  return true;
+}
+
+bool MemoStore::appendFooter(std::string* error) {
+  if (!flush(/*sync=*/true, error)) return false;
+  std::string body;
+  RecordWriter w(body);
+  std::int64_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(pendingMu_);
+    count = entriesInSegment_;
+    entriesInSegment_ = 0;
+  }
+  w.putU8(kRecFooter).putU32(currentWriterId()).putI64(count);
+  std::string batch;
+  frame(batch, body);
+  if (!writeAll(fd_, batch, error)) return false;
+  if (::fdatasync(fd_) != 0)
+    return setError(error,
+                    "memo store sync: " + std::string(std::strerror(errno)));
+  return true;
+}
+
+}  // namespace ssvsp

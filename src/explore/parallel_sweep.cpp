@@ -26,16 +26,39 @@ struct Chunk {
   std::vector<FailureScript> scripts;
 };
 
+/// Restricts `stream` to the slice `shard`, preserving global indices: the
+/// windowed stream invokes its callback only for scripts in the range, and
+/// the caller bases script indices at shard.firstScript.  Skipped scripts
+/// cost one enumeration step each — cheap next to executing runs.
+ScriptStream windowStream(const ScriptStream& stream, ShardRange shard) {
+  if (shard.whole()) return stream;
+  return [stream, shard](const std::function<bool(const FailureScript&)>& fn) {
+    std::int64_t skip = shard.firstScript;
+    std::int64_t remaining =
+        shard.numScripts < 0 ? std::int64_t{-1} : shard.numScripts;
+    stream([&](const FailureScript& script) {
+      if (skip > 0) {
+        --skip;
+        return true;
+      }
+      if (remaining == 0) return false;
+      if (remaining > 0) --remaining;
+      if (!fn(script)) return false;
+      return remaining != 0;
+    });
+  };
+}
+
 /// Single-threaded reference path.  One shard absorbs the whole stream;
 /// saturation is still checked only at chunk boundaries so the cut lands on
 /// the same script index as the pooled path.
 SweepOutcome sweepInline(
-    const ScriptStream& stream, int chunkScripts,
+    const ScriptStream& stream, int chunkScripts, std::int64_t firstIndex,
     const std::function<std::unique_ptr<SweepShard>(int)>& makeShard,
     obs::ProgressMeter* progress) {
   SweepOutcome out;
   out.merged = makeShard(0);
-  std::int64_t index = 0;
+  std::int64_t index = firstIndex;
   std::int64_t inChunk = 0;
   stream([&](const FailureScript& script) {
     out.merged->visit(script, index++);
@@ -165,8 +188,13 @@ SweepOutcome parallelSweep(
   OBS_SPAN("sweep");
   const int threads = resolveThreads(spec.threads);
   const int chunkScripts = spec.chunkScripts >= 1 ? spec.chunkScripts : 1;
+  const ScriptStream windowed = windowStream(stream, spec.shard);
+  const std::int64_t firstIndex =
+      spec.shard.whole() ? 0 : std::max<std::int64_t>(spec.shard.firstScript,
+                                                      0);
   if (threads <= 1)
-    return sweepInline(stream, chunkScripts, makeShard, progress);
+    return sweepInline(windowed, chunkScripts, firstIndex, makeShard,
+                       progress);
 
   Pool pool;
   pool.progress = progress;
@@ -181,7 +209,7 @@ SweepOutcome parallelSweep(
   // Produce: cut the stream into chunks, pushing each to the bounded queue.
   Chunk next;
   std::int64_t nextId = 0;
-  std::int64_t nextFirst = 0;
+  std::int64_t nextFirst = firstIndex;
   auto flush = [&]() -> bool {  // false = stop producing
     if (next.scripts.empty()) return true;
     std::unique_lock<std::mutex> lock(pool.mu);
@@ -197,7 +225,7 @@ SweepOutcome parallelSweep(
     pool.canPop.notify_one();
     return true;
   };
-  stream([&](const FailureScript& script) {
+  windowed([&](const FailureScript& script) {
     next.scripts.push_back(script);
     if (static_cast<int>(next.scripts.size()) < chunkScripts) return true;
     return flush();

@@ -76,6 +76,12 @@ struct SweepOutcome {
 /// The enumeration itself stays serial (it is cheap next to executing runs);
 /// chunk processing is what parallelizes.
 ///
+/// When `spec.shard` names a slice of the stream, only that slice is
+/// visited — but scriptIndex values stay GLOBAL (based at
+/// shard.firstScript), so per-shard results merge into exactly the
+/// whole-stream result.  SweepOutcome::scriptsMerged counts the scripts of
+/// the slice actually merged.
+///
 /// The factory receives the index of the worker thread the shard will run
 /// on (0 on the inline path), in [0, resolveThreads(spec.threads)).  Shards
 /// of the same worker never run concurrently, so the factory may hand them

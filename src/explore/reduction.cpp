@@ -1,11 +1,13 @@
 #include "explore/reduction.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "obs/obs.hpp"
 #include "rounds/spec.hpp"
 #include "util/check.hpp"
+#include "util/serde.hpp"
 
 namespace ssvsp {
 
@@ -176,6 +178,47 @@ SweepRunStats SweepRunStats::fromRegistry(
   s.roundsExecuted = snapshot.value("sweep.rounds_executed");
   s.roundsResumed = snapshot.value("sweep.rounds_resumed");
   s.memoEntries = snapshot.value("sweep.memo_entries");
+  return s;
+}
+
+void SweepRunStats::toJson(JsonWriter& w) const {
+  w.beginObject();
+  w.kv("schema", kReportSchemaV1);
+  w.kv("kind", "sweep_run_stats");
+  w.kv("runs_requested", runsRequested);
+  w.kv("runs_from_memo", runsFromMemo);
+  w.kv("runs_executed", runsExecuted);
+  w.kv("runs_reused_in_engine", runsReusedInEngine);
+  w.kv("rounds_executed", roundsExecuted);
+  w.kv("rounds_resumed", roundsResumed);
+  w.kv("memo_entries", memoEntries);
+  w.endObject();
+}
+
+std::string SweepRunStats::toJsonString() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  toJson(w);
+  return os.str();
+}
+
+std::optional<SweepRunStats> SweepRunStats::fromJson(const JsonValue& doc,
+                                                     std::string* error) {
+  if (!checkJsonEnvelope(doc, kReportSchemaV1, "sweep_run_stats", error))
+    return std::nullopt;
+  SweepRunStats s;
+  const bool ok =
+      readJsonI64(doc.find("runs_requested"), &s.runsRequested) &&
+      readJsonI64(doc.find("runs_from_memo"), &s.runsFromMemo) &&
+      readJsonI64(doc.find("runs_executed"), &s.runsExecuted) &&
+      readJsonI64(doc.find("runs_reused_in_engine"), &s.runsReusedInEngine) &&
+      readJsonI64(doc.find("rounds_executed"), &s.roundsExecuted) &&
+      readJsonI64(doc.find("rounds_resumed"), &s.roundsResumed) &&
+      readJsonI64(doc.find("memo_entries"), &s.memoEntries);
+  if (!ok) {
+    if (error != nullptr) *error = "sweep_run_stats: bad fields";
+    return std::nullopt;
+  }
   return s;
 }
 

@@ -41,6 +41,9 @@
 
 namespace ssvsp {
 
+class JsonWriter;  // util/serde.hpp
+struct JsonValue;  // util/serde.hpp
+
 /// All binary initial configurations over n processes with process 0 pinned
 /// to value 0 — the canonical config set modulo value relabeling that the
 /// abstract-interpretation analyzer sweeps.  (Value symmetry, distinct from
@@ -93,11 +96,18 @@ struct RunSummary {
 /// a sweep.  Mutex-sharded by key hash; values are pure functions of the
 /// key (class invariants of the orbit), so the first-writer race between
 /// workers cannot change what any reader observes.
+///
+/// The accessors are virtual so a persistent store can stand in for the
+/// in-memory memo: src/campaign's MemoStore overrides insert() to also
+/// append the (key, summary) record to its on-disk log, making every sweep
+/// that runs against it warm-startable across processes and invocations.
 class RunMemo {
  public:
-  std::optional<RunSummary> find(const std::string& key) const;
-  void insert(const std::string& key, const RunSummary& summary);
-  std::int64_t size() const;
+  virtual ~RunMemo() = default;
+
+  virtual std::optional<RunSummary> find(const std::string& key) const;
+  virtual void insert(const std::string& key, const RunSummary& summary);
+  virtual std::int64_t size() const;
 
  private:
   static constexpr std::size_t kShards = 64;
@@ -173,6 +183,13 @@ struct SweepRunStats {
   /// Inverse of publish() over a snapshot: the sweep.* counter values as a
   /// struct (absent names read as 0).
   static SweepRunStats fromRegistry(const obs::MetricsSnapshot& snapshot);
+
+  /// Versioned wire form (schema ssvsp.report.v1, kind "sweep_run_stats") —
+  /// how bench_sweep_reduction and the campaign manifest persist counters.
+  void toJson(JsonWriter& w) const;
+  std::string toJsonString() const;
+  static std::optional<SweepRunStats> fromJson(const JsonValue& doc,
+                                               std::string* error = nullptr);
 };
 
 /// The per-worker execution arena: one pooled, checkpoint-resuming

@@ -1,8 +1,27 @@
 #include "explore/spec.hpp"
 
+#include <algorithm>
 #include <thread>
 
 namespace ssvsp {
+
+std::int64_t ShardRange::countWithin(std::int64_t totalScripts) const {
+  const std::int64_t first = std::min(std::max<std::int64_t>(firstScript, 0),
+                                      totalScripts);
+  const std::int64_t available = totalScripts - first;
+  if (numScripts < 0) return available;
+  return std::min(numScripts, available);
+}
+
+std::vector<ShardRange> planShardRanges(std::int64_t totalScripts,
+                                        std::int64_t shardScripts) {
+  std::vector<ShardRange> plan;
+  if (totalScripts <= 0) return plan;
+  if (shardScripts < 1) shardScripts = 1;
+  for (std::int64_t first = 0; first < totalScripts; first += shardScripts)
+    plan.push_back({first, std::min(shardScripts, totalScripts - first)});
+  return plan;
+}
 
 int resolveThreads(int threads) {
   if (threads > 0) return threads;

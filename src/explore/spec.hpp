@@ -46,6 +46,33 @@ enum class Reduction {
   kSymmetry,
 };
 
+/// A contiguous slice of the canonical script stream — the unit of work the
+/// campaign layer (src/campaign) addresses, schedules across processes and
+/// resumes.  Script indices are GLOBAL stream positions: a sweep windowed to
+/// [firstScript, firstScript + numScripts) reports the same scriptIndex for
+/// a given script as the whole-stream sweep, so per-shard results merge into
+/// exactly the whole-stream result (violation order, canonicalization cache
+/// keys and progress totals all key on the global index).
+struct ShardRange {
+  std::int64_t firstScript = 0;
+  /// Scripts in the slice; -1 = to the end of the stream.
+  std::int64_t numScripts = -1;
+
+  /// The default range: the whole stream (the non-campaign callers).
+  bool whole() const { return firstScript == 0 && numScripts < 0; }
+
+  /// Scripts this range covers out of a stream of `totalScripts`.
+  std::int64_t countWithin(std::int64_t totalScripts) const;
+};
+
+/// Evenly-grained shard plan over a stream of `totalScripts` scripts:
+/// ceil(total / shardScripts) ranges of at most `shardScripts` each, in
+/// stream order.  The campaign orchestrator assigns these to worker
+/// processes dynamically, so a fine grain doubles as work stealing —
+/// stragglers simply stop picking up new ranges.
+std::vector<ShardRange> planShardRanges(std::int64_t totalScripts,
+                                        std::int64_t shardScripts);
+
 /// The shared sweep description consumed by modelCheckConsensus and
 /// measureLatency (and anything else that walks script x config spaces).
 struct ExploreSpec {
@@ -77,6 +104,11 @@ struct ExploreSpec {
   /// default -1 defers to the SSVSP_PROGRESS environment variable (unset =
   /// off).  Purely observational — never affects results.
   double progressIntervalSec = -1;
+  /// The slice of the script stream this sweep executes (default: all of
+  /// it).  A windowed sweep visits only the slice but keeps GLOBAL script
+  /// indices, so shard results merge bit-identically into the whole-stream
+  /// result — see ShardRange and src/campaign.
+  ShardRange shard;
 };
 
 /// Number of workers `threads` asks for: itself if positive, else the

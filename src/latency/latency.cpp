@@ -14,6 +14,7 @@
 #include "rounds/adversary.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/serde.hpp"
 
 namespace ssvsp {
 
@@ -28,6 +29,51 @@ std::string LatencyProfile::toString() const {
     os << " Lat(f<=" << f << ")=" << fmt(worst);
   os << " runs=" << runsExecuted;
   return os.str();
+}
+
+void LatencyProfile::toJson(JsonWriter& w) const {
+  w.beginObject();
+  w.kv("schema", kReportSchemaV1);
+  w.kv("kind", "latency_profile");
+  w.key("lat");
+  writeJsonRound(w, lat);
+  w.key("lat_max");
+  writeJsonRound(w, latMax);
+  w.key("lambda");
+  writeJsonRound(w, lambda);
+  w.key("lat_by_max_crashes");
+  writeJsonLatencyMap(w, latByMaxCrashes);
+  w.kv("runs_executed", runsExecuted);
+  w.endObject();
+}
+
+std::string LatencyProfile::toJsonString() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  toJson(w);
+  return os.str();
+}
+
+std::optional<LatencyProfile> LatencyProfile::fromJson(const JsonValue& doc,
+                                                       std::string* error) {
+  if (!checkJsonEnvelope(doc, kReportSchemaV1, "latency_profile", error))
+    return std::nullopt;
+  LatencyProfile profile;
+  const JsonValue* lat = doc.find("lat");
+  const JsonValue* latMax = doc.find("lat_max");
+  const JsonValue* lambda = doc.find("lambda");
+  const bool ok =
+      lat != nullptr && readJsonRound(*lat, &profile.lat) &&
+      latMax != nullptr && readJsonRound(*latMax, &profile.latMax) &&
+      lambda != nullptr && readJsonRound(*lambda, &profile.lambda) &&
+      readJsonLatencyMap(doc.find("lat_by_max_crashes"),
+                         &profile.latByMaxCrashes) &&
+      readJsonI64(doc.find("runs_executed"), &profile.runsExecuted);
+  if (!ok) {
+    if (error != nullptr) *error = "latency_profile: bad fields";
+    return std::nullopt;
+  }
+  return profile;
 }
 
 namespace {
@@ -211,12 +257,14 @@ LatencyProfile measureLatency(const RoundAutomatonFactory& factory,
                                 : obs::progressIntervalFromEnv();
   progressOpt.label = "latency";
   if (progressOpt.intervalSec > 0) {
+    // Totals count the SLICE the sweep executes (see ExploreSpec::shard),
+    // so shard workers report honest ETAs.
     if (options.exhaustive) {
-      progressOpt.totalScripts =
-          countScripts(cfg, model, options.enumeration);
+      progressOpt.totalScripts = options.shard.countWithin(
+          countScripts(cfg, model, options.enumeration));
     } else {
-      progressOpt.totalScripts =
-          static_cast<std::int64_t>(options.samples) + cfg.t + 1;
+      progressOpt.totalScripts = options.shard.countWithin(
+          static_cast<std::int64_t>(options.samples) + cfg.t + 1);
     }
     progressOpt.memoHits = [&arenas] {
       std::int64_t hits = 0;

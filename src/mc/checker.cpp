@@ -10,8 +10,42 @@
 #include "obs/obs.hpp"
 #include "obs/progress.hpp"
 #include "util/check.hpp"
+#include "util/serde.hpp"
 
 namespace ssvsp {
+
+namespace {
+
+/// Reduce one (crashes -> latency) entry into a worst-latency map: kNoRound
+/// is infinity, so it absorbs.
+void foldWorst(std::map<int, Round>& into, int crashes, Round lat) {
+  auto [it, inserted] = into.try_emplace(crashes, lat);
+  if (inserted) return;
+  if (lat == kNoRound || it->second == kNoRound)
+    it->second = kNoRound;
+  else
+    it->second = std::max(it->second, lat);
+}
+
+void foldBest(std::map<int, Round>& into, int crashes, Round lat) {
+  auto [it, inserted] = into.try_emplace(crashes, lat);
+  if (!inserted) it->second = std::min(it->second, lat);
+}
+
+}  // namespace
+
+void mergeMcReports(McReport& into, McReport&& from, int maxViolations) {
+  into.scriptsVisited += from.scriptsVisited;
+  into.runsExecuted += from.runsExecuted;
+  for (McViolation& v : from.violations) {
+    if (static_cast<int>(into.violations.size()) >= maxViolations) break;
+    into.violations.push_back(std::move(v));
+  }
+  for (const auto& [crashes, lat] : from.worstLatencyByCrashes)
+    foldWorst(into.worstLatencyByCrashes, crashes, lat);
+  for (const auto& [crashes, lat] : from.bestLatencyByCrashes)
+    foldBest(into.bestLatencyByCrashes, crashes, lat);
+}
 
 Round McReport::latUpToCrashes(int f) const {
   Round worst = 0;
@@ -35,6 +69,183 @@ std::string McReport::summary() const {
       os << lat;
   }
   return os.str();
+}
+
+// -- ssvsp.report.v1 wire form ----------------------------------------------
+
+namespace {
+
+void writeScript(JsonWriter& w, const FailureScript& script) {
+  w.beginObject();
+  w.key("crashes").beginArray();
+  for (const CrashEvent& c : script.crashes) {
+    w.beginArray()
+        .value(std::int64_t{c.p})
+        .value(std::int64_t{c.round})
+        .value(c.sendTo.mask())
+        .endArray();
+  }
+  w.endArray();
+  w.key("pendings").beginArray();
+  for (const PendingChoice& p : script.pendings) {
+    w.beginArray()
+        .value(std::int64_t{p.src})
+        .value(std::int64_t{p.dst})
+        .value(std::int64_t{p.round});
+    writeJsonRound(w, p.arrival);
+    w.endArray();
+  }
+  w.endArray();
+  w.endObject();
+}
+
+bool readScript(const JsonValue* v, FailureScript* out) {
+  if (v == nullptr || !v->isObject()) return false;
+  const JsonValue* crashes = v->find("crashes");
+  const JsonValue* pendings = v->find("pendings");
+  if (crashes == nullptr || !crashes->isArray() || pendings == nullptr ||
+      !pendings->isArray())
+    return false;
+  for (const JsonValue& entry : crashes->items) {
+    if (!entry.isArray() || entry.items.size() != 3) return false;
+    CrashEvent c;
+    std::int64_t mask = 0;
+    if (!readJsonInt(&entry.items[0], &c.p) ||
+        !readJsonInt(&entry.items[1], &c.round) ||
+        !readJsonI64(&entry.items[2], &mask))
+      return false;
+    c.sendTo = ProcessSet::fromMask(static_cast<std::uint64_t>(mask));
+    out->crashes.push_back(c);
+  }
+  for (const JsonValue& entry : pendings->items) {
+    if (!entry.isArray() || entry.items.size() != 4) return false;
+    PendingChoice p;
+    if (!readJsonInt(&entry.items[0], &p.src) ||
+        !readJsonInt(&entry.items[1], &p.dst) ||
+        !readJsonInt(&entry.items[2], &p.round) ||
+        !readJsonRound(entry.items[3], &p.arrival))
+      return false;
+    out->pendings.push_back(p);
+  }
+  return true;
+}
+
+bool fail(std::string* error, const char* what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+}  // namespace
+
+void McReport::toJson(JsonWriter& w) const {
+  w.beginObject();
+  w.kv("schema", kReportSchemaV1);
+  w.kv("kind", "mc_report");
+  w.kv("scripts_visited", scriptsVisited);
+  w.kv("runs_executed", runsExecuted);
+  w.key("worst_latency_by_crashes");
+  writeJsonLatencyMap(w, worstLatencyByCrashes);
+  w.key("best_latency_by_crashes");
+  writeJsonLatencyMap(w, bestLatencyByCrashes);
+  w.key("violations").beginArray();
+  for (const McViolation& v : violations) {
+    w.beginObject();
+    w.kv("script_index", v.scriptIndex);
+    w.kv("config_index", std::int64_t{v.configIndex});
+    w.key("initial").beginArray();
+    for (Value val : v.initial) w.value(std::int64_t{val});
+    w.endArray();
+    w.key("script");
+    writeScript(w, v.script);
+    w.key("verdict").beginObject();
+    w.kv("uniform_agreement", v.verdict.uniformAgreement);
+    w.kv("uniform_validity", v.verdict.uniformValidity);
+    w.kv("decision_in_proposals", v.verdict.decisionInProposals);
+    w.kv("termination", v.verdict.termination);
+    w.kv("within_latency_bound", v.verdict.withinLatencyBound);
+    w.kv("witness", v.verdict.witness);
+    w.endObject();
+    w.kv("run_dump", v.runDump);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+}
+
+std::string McReport::toJsonString() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  toJson(w);
+  return os.str();
+}
+
+std::optional<McReport> McReport::fromJson(const JsonValue& doc,
+                                           std::string* error) {
+  if (!checkJsonEnvelope(doc, kReportSchemaV1, "mc_report", error))
+    return std::nullopt;
+  McReport report;
+  if (!readJsonI64(doc.find("scripts_visited"), &report.scriptsVisited) ||
+      !readJsonI64(doc.find("runs_executed"), &report.runsExecuted)) {
+    fail(error, "mc_report: bad counters");
+    return std::nullopt;
+  }
+  if (!readJsonLatencyMap(doc.find("worst_latency_by_crashes"),
+                          &report.worstLatencyByCrashes) ||
+      !readJsonLatencyMap(doc.find("best_latency_by_crashes"),
+                          &report.bestLatencyByCrashes)) {
+    fail(error, "mc_report: bad latency maps");
+    return std::nullopt;
+  }
+  const JsonValue* violations = doc.find("violations");
+  if (violations == nullptr || !violations->isArray()) {
+    fail(error, "mc_report: bad violations");
+    return std::nullopt;
+  }
+  for (const JsonValue& entry : violations->items) {
+    McViolation v;
+    const JsonValue* initial = entry.find("initial");
+    const JsonValue* verdict = entry.find("verdict");
+    const JsonValue* dump =
+        entry.isObject() ? entry.find("run_dump") : nullptr;
+    bool ok = entry.isObject() &&
+              readJsonI64(entry.find("script_index"), &v.scriptIndex) &&
+              readJsonInt(entry.find("config_index"), &v.configIndex) &&
+              initial != nullptr && initial->isArray() &&
+              readScript(entry.find("script"), &v.script) &&
+              verdict != nullptr && verdict->isObject() && dump != nullptr &&
+              dump->kind == JsonValue::Kind::kString;
+    if (ok) {
+      for (const JsonValue& val : initial->items) {
+        int value = 0;
+        ok = ok && readJsonInt(&val, &value);
+        v.initial.push_back(static_cast<Value>(value));
+      }
+      ok = ok &&
+           readJsonBool(verdict->find("uniform_agreement"),
+                        &v.verdict.uniformAgreement) &&
+           readJsonBool(verdict->find("uniform_validity"),
+                        &v.verdict.uniformValidity) &&
+           readJsonBool(verdict->find("decision_in_proposals"),
+                        &v.verdict.decisionInProposals) &&
+           readJsonBool(verdict->find("termination"),
+                        &v.verdict.termination) &&
+           readJsonBool(verdict->find("within_latency_bound"),
+                        &v.verdict.withinLatencyBound);
+      const JsonValue* witness = verdict->find("witness");
+      ok = ok && witness != nullptr &&
+           witness->kind == JsonValue::Kind::kString;
+      if (ok) {
+        v.verdict.witness = witness->text;
+        v.runDump = dump->text;
+      }
+    }
+    if (!ok) {
+      fail(error, "mc_report: bad violation entry");
+      return std::nullopt;
+    }
+    report.violations.push_back(std::move(v));
+  }
+  return report;
 }
 
 namespace {
@@ -98,49 +309,16 @@ class McShard : public SweepShard {
                                       run.toString()});
       }
 
-      const Round lat = runLatency;
-      auto [wit, winserted] =
-          report_.worstLatencyByCrashes.try_emplace(crashes, lat);
-      if (!winserted) {
-        if (lat == kNoRound || wit->second == kNoRound)
-          wit->second = kNoRound;
-        else
-          wit->second = std::max(wit->second, lat);
-      }
-      if (lat != kNoRound) {
-        auto [bit, binserted] =
-            report_.bestLatencyByCrashes.try_emplace(crashes, lat);
-        if (!binserted) bit->second = std::min(bit->second, lat);
-      }
+      foldWorst(report_.worstLatencyByCrashes, crashes, runLatency);
+      if (runLatency != kNoRound)
+        foldBest(report_.bestLatencyByCrashes, crashes, runLatency);
     }
     ++report_.scriptsVisited;
   }
 
   void mergeFrom(SweepShard& from) override {
-    McReport& other = static_cast<McShard&>(from).report_;
-    report_.scriptsVisited += other.scriptsVisited;
-    report_.runsExecuted += other.runsExecuted;
-    for (McViolation& v : other.violations) {
-      if (static_cast<int>(report_.violations.size()) >=
-          ctx_.options.maxViolations)
-        break;
-      report_.violations.push_back(std::move(v));
-    }
-    for (const auto& [crashes, lat] : other.worstLatencyByCrashes) {
-      auto [it, inserted] =
-          report_.worstLatencyByCrashes.try_emplace(crashes, lat);
-      if (!inserted) {
-        if (lat == kNoRound || it->second == kNoRound)
-          it->second = kNoRound;
-        else
-          it->second = std::max(it->second, lat);
-      }
-    }
-    for (const auto& [crashes, lat] : other.bestLatencyByCrashes) {
-      auto [it, inserted] =
-          report_.bestLatencyByCrashes.try_emplace(crashes, lat);
-      if (!inserted) it->second = std::min(it->second, lat);
-    }
+    mergeMcReports(report_, std::move(static_cast<McShard&>(from).report_),
+                   ctx_.options.maxViolations);
   }
 
   bool saturated() const override {
@@ -176,16 +354,22 @@ McReport modelCheckConsensus(const RoundAutomatonFactory& factory,
   // One execution arena per worker: engines (with their automata and
   // buffers) live for the whole sweep, not per chunk.  The memo is shared.
   std::unique_ptr<SymmetryGroup> group;
-  std::unique_ptr<RunMemo> memo;
+  std::unique_ptr<RunMemo> ownedMemo;
+  RunMemo* memo = nullptr;
   if (options.reduction == Reduction::kSymmetry) {
     group = std::make_unique<SymmetryGroup>(cfg.n, options.symmetryFixedIds);
-    memo = std::make_unique<RunMemo>();
+    if (options.memo != nullptr) {
+      memo = options.memo;  // external (persistent) memo, e.g. a MemoStore
+    } else {
+      ownedMemo = std::make_unique<RunMemo>();
+      memo = ownedMemo.get();
+    }
   }
   std::vector<std::unique_ptr<RunExecutor>> arenas;
   for (int w = 0; w < resolveThreads(options.threads); ++w)
     arenas.push_back(std::make_unique<RunExecutor>(
         cfg, model, factory, ctx.configs, ctx.engineOpt, group.get(),
-        memo.get()));
+        memo));
 
   const ScriptStream stream =
       [&](const std::function<bool(const FailureScript&)>& fn) {
@@ -199,9 +383,11 @@ McReport modelCheckConsensus(const RoundAutomatonFactory& factory,
   progressOpt.label = "mc";
   if (progressOpt.intervalSec > 0) {
     // Counting costs one extra (runless) enumeration pass; only pay it when
-    // the progress line is actually on.
-    progressOpt.totalScripts =
-        countScripts(cfg, model, options.enumeration);
+    // the progress line is actually on.  The total is the SLICE the sweep
+    // actually executes, not the whole stream — a shard worker's ETA would
+    // otherwise be pessimistic by the shard count.
+    progressOpt.totalScripts = options.shard.countWithin(
+        countScripts(cfg, model, options.enumeration));
     progressOpt.memoHits = [&arenas] {
       std::int64_t hits = 0;
       for (const auto& arena : arenas) hits += arena->runsFromMemoNow();

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 
 #include "explore/spec.hpp"
@@ -30,6 +31,9 @@
 namespace ssvsp {
 
 struct SweepRunStats;  // explore/reduction.hpp
+class RunMemo;         // explore/reduction.hpp
+class JsonWriter;      // util/serde.hpp
+struct JsonValue;      // util/serde.hpp
 
 struct McViolation {
   /// Canonical run key: position of the script in the enumeration stream
@@ -61,7 +65,23 @@ struct McReport {
   Round latUpToCrashes(int f) const;
 
   std::string summary() const;
+
+  /// Versioned wire form (schema kReportSchemaV1, kind "mc_report") — what
+  /// campaign shard workers persist and the query front-end reads back.
+  /// kNoRound is encoded as JSON null, never as a sentinel integer.
+  void toJson(JsonWriter& w) const;
+  std::string toJsonString() const;
+  static std::optional<McReport> fromJson(const JsonValue& doc,
+                                          std::string* error = nullptr);
 };
+
+/// Folds `from` — an McReport over the script range immediately after
+/// `into`'s — into `into`: counters add, violations append up to
+/// `maxViolations` (preserving canonical run order), the latency maps reduce
+/// by max-with-kNoRound-as-infinity / min.  This is exactly the shard merge
+/// the parallel sweep performs, exposed so the campaign layer can reduce
+/// per-shard reports from different processes into the whole-sweep report.
+void mergeMcReports(McReport& into, McReport&& from, int maxViolations);
 
 /// ExploreSpec plus the checker's one extra knob.  The sweep fields
 /// (`enumeration`, `valueDomain`, `horizonSlack`, `threads`, ...) are the
@@ -81,6 +101,14 @@ struct McCheckOptions : ExploreSpec {
   /// McReport stays bit-identical across reduction modes and thread counts,
   /// these counters legitimately do not.
   SweepRunStats* runStats = nullptr;
+  /// External run memo: when non-null (and reduction is kSymmetry), the
+  /// sweep recalls and publishes RunSummary values through this memo
+  /// instead of a sweep-local one.  The campaign layer passes its
+  /// persistent MemoStore here, so executions are shared across worker
+  /// processes and invocations.  Not owned; must outlive the call.  The
+  /// memo is a pure accelerator — the report is bit-identical with or
+  /// without it, warm or cold.
+  RunMemo* memo = nullptr;
 };
 
 McReport modelCheckConsensus(const RoundAutomatonFactory& factory,

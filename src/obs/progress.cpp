@@ -54,6 +54,11 @@ void ProgressMeter::emit(std::int64_t done, bool final) {
   emittedAny_ = true;
   const double elapsedSec =
       static_cast<double>(nowNs() - startNs_) / 1e9;
+  std::fprintf(stderr, "%s\n", renderLine(done, final, elapsedSec).c_str());
+}
+
+std::string ProgressMeter::renderLine(std::int64_t done, bool final,
+                                      double elapsedSec) const {
   const double rate = elapsedSec > 0 ? static_cast<double>(done) / elapsedSec
                                      : 0.0;
 
@@ -89,7 +94,7 @@ void ProgressMeter::emit(std::int64_t done, bool final) {
                  static_cast<double>(requests));
     }
   }
-  std::fprintf(stderr, "%s\n", line);
+  return std::string(line);
 }
 
 double progressIntervalFromEnv() {

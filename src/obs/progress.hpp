@@ -35,6 +35,15 @@ class ProgressMeter {
 
   bool enabled() const { return options_.intervalSec > 0; }
 
+  /// The progress line for `done` scripts after `elapsedSec`, exactly as
+  /// emit() prints it (sans trailing newline).  Public and deterministic so
+  /// tests can pin the format: percentages and ETA are relative to
+  /// totalScripts — for a shard-sliced sweep that is the SLICE's script
+  /// count (ShardRange::countWithin), never the whole stream's — and the
+  /// memo hit-rate divides hits by requests-so-far, not by the total.
+  std::string renderLine(std::int64_t done, bool final,
+                         double elapsedSec) const;
+
  private:
   void emit(std::int64_t done, bool final);
 

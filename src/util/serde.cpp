@@ -419,4 +419,189 @@ std::optional<JsonValue> parseJson(std::string_view text,
   return JsonParser(text).parse(error);
 }
 
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+void appendLe(std::string& out, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+}  // namespace
+
+RecordWriter& RecordWriter::putU8(std::uint8_t v) {
+  appendLe(out_, v, 1);
+  return *this;
+}
+
+RecordWriter& RecordWriter::putU32(std::uint32_t v) {
+  appendLe(out_, v, 4);
+  return *this;
+}
+
+RecordWriter& RecordWriter::putI32(std::int32_t v) {
+  appendLe(out_, static_cast<std::uint32_t>(v), 4);
+  return *this;
+}
+
+RecordWriter& RecordWriter::putU64(std::uint64_t v) {
+  appendLe(out_, v, 8);
+  return *this;
+}
+
+RecordWriter& RecordWriter::putI64(std::int64_t v) {
+  appendLe(out_, static_cast<std::uint64_t>(v), 8);
+  return *this;
+}
+
+RecordWriter& RecordWriter::putBytes(std::string_view bytes) {
+  putU32(static_cast<std::uint32_t>(bytes.size()));
+  out_.append(bytes.data(), bytes.size());
+  return *this;
+}
+
+bool RecordReader::take(std::size_t count, const char** out) {
+  if (!ok_ || bytes_.size() - pos_ < count) {
+    ok_ = false;
+    return false;
+  }
+  *out = bytes_.data() + pos_;
+  pos_ += count;
+  return true;
+}
+
+namespace {
+
+std::uint64_t readLe(const char* p, int bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint8_t RecordReader::getU8() {
+  const char* p = nullptr;
+  return take(1, &p) ? static_cast<std::uint8_t>(readLe(p, 1)) : 0;
+}
+
+std::uint32_t RecordReader::getU32() {
+  const char* p = nullptr;
+  return take(4, &p) ? static_cast<std::uint32_t>(readLe(p, 4)) : 0;
+}
+
+std::int32_t RecordReader::getI32() {
+  return static_cast<std::int32_t>(getU32());
+}
+
+std::uint64_t RecordReader::getU64() {
+  const char* p = nullptr;
+  return take(8, &p) ? readLe(p, 8) : 0;
+}
+
+std::int64_t RecordReader::getI64() {
+  return static_cast<std::int64_t>(getU64());
+}
+
+std::string_view RecordReader::getBytes() {
+  const std::uint32_t len = getU32();
+  const char* p = nullptr;
+  if (!take(len, &p)) return {};
+  return {p, len};
+}
+
+// -- typed JSON extraction helpers ------------------------------------------
+
+bool readJsonI64(const JsonValue* v, std::int64_t* out) {
+  if (v == nullptr || !v->isInteger) return false;
+  *out = v->integer;
+  return true;
+}
+
+bool readJsonInt(const JsonValue* v, int* out) {
+  std::int64_t wide = 0;
+  if (!readJsonI64(v, &wide)) return false;
+  *out = static_cast<int>(wide);
+  return true;
+}
+
+bool readJsonBool(const JsonValue* v, bool* out) {
+  if (v == nullptr || v->kind != JsonValue::Kind::kBool) return false;
+  *out = v->boolean;
+  return true;
+}
+
+bool readJsonString(const JsonValue* v, std::string* out) {
+  if (v == nullptr || v->kind != JsonValue::Kind::kString) return false;
+  *out = v->text;
+  return true;
+}
+
+void writeJsonRound(JsonWriter& w, Round r) {
+  if (r == kNoRound)
+    w.null();
+  else
+    w.value(std::int64_t{r});
+}
+
+bool readJsonRound(const JsonValue& v, Round* out) {
+  if (v.kind == JsonValue::Kind::kNull) {
+    *out = kNoRound;
+    return true;
+  }
+  if (!v.isInteger) return false;
+  *out = static_cast<Round>(v.integer);
+  return true;
+}
+
+void writeJsonLatencyMap(JsonWriter& w, const std::map<int, Round>& m) {
+  w.beginArray();
+  for (const auto& [crashes, lat] : m) {
+    w.beginArray().value(std::int64_t{crashes});
+    writeJsonRound(w, lat);
+    w.endArray();
+  }
+  w.endArray();
+}
+
+bool readJsonLatencyMap(const JsonValue* v, std::map<int, Round>* out) {
+  if (v == nullptr || !v->isArray()) return false;
+  for (const JsonValue& entry : v->items) {
+    if (!entry.isArray() || entry.items.size() != 2) return false;
+    int crashes = 0;
+    Round lat = 0;
+    if (!readJsonInt(&entry.items[0], &crashes) ||
+        !readJsonRound(entry.items[1], &lat))
+      return false;
+    (*out)[crashes] = lat;
+  }
+  return true;
+}
+
+bool checkJsonEnvelope(const JsonValue& doc, std::string_view schema,
+                       std::string_view kind, std::string* error) {
+  auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (!doc.isObject()) return fail("report: not a JSON object");
+  const JsonValue* s = doc.find("schema");
+  if (s == nullptr || s->kind != JsonValue::Kind::kString || s->text != schema)
+    return fail("report: missing or unsupported schema tag");
+  const JsonValue* k = doc.find("kind");
+  if (k == nullptr || k->kind != JsonValue::Kind::kString || k->text != kind)
+    return fail("report: wrong kind for this parser");
+  return true;
+}
+
 }  // namespace ssvsp

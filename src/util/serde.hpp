@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -173,5 +174,92 @@ struct JsonValue {
 /// (when non-null) with a "byte N: reason" message on malformed input.
 std::optional<JsonValue> parseJson(std::string_view text,
                                    std::string* error = nullptr);
+
+// -- typed JSON extraction helpers ------------------------------------------
+//
+// Shared by the versioned report serializers (McReport, LatencyProfile,
+// SweepRunStats — schema "ssvsp.report.v1").  Each reader returns false on
+// a missing member (nullptr) or a kind mismatch, so fromJson bodies read as
+// one &&-chain per document.
+
+/// Schema tag of every versioned report document — bump on any
+/// incompatible change to a report's wire form; fromJson rejects documents
+/// carrying a different tag instead of half-parsing them.
+inline constexpr const char* kReportSchemaV1 = "ssvsp.report.v1";
+
+bool readJsonI64(const JsonValue* v, std::int64_t* out);
+bool readJsonInt(const JsonValue* v, int* out);
+bool readJsonBool(const JsonValue* v, bool* out);
+bool readJsonString(const JsonValue* v, std::string* out);
+
+/// Round with the kNoRound sentinel encoded as JSON null — wire documents
+/// never leak the in-memory INT_MAX sentinel.
+void writeJsonRound(JsonWriter& w, Round r);
+bool readJsonRound(const JsonValue& v, Round* out);
+
+/// (crashes -> latency) map as an array of [crashes, latency|null] pairs —
+/// JSON object keys are strings, and stringified ints would sort wrong.
+void writeJsonLatencyMap(JsonWriter& w, const std::map<int, Round>& m);
+bool readJsonLatencyMap(const JsonValue* v, std::map<int, Round>* out);
+
+/// Validates a versioned document envelope: `schema` tag plus the `kind`
+/// discriminator.  Rejecting up front beats half-parsing a future rev.
+bool checkJsonEnvelope(const JsonValue& doc, std::string_view schema,
+                       std::string_view kind, std::string* error);
+
+// -- binary record framing --------------------------------------------------
+//
+// Fixed-width little-endian framing for the campaign layer's on-disk
+// artifacts (the persistent memo store above all).  A record is built in a
+// RecordWriter, framed by the caller (length prefix + checksum), and read
+// back through a bounds-checked RecordReader that turns truncated or
+// corrupt input into a sticky !ok() instead of UB — torn tails after a
+// crash must parse as "stop here", never as garbage entries.
+
+/// FNV-1a 64-bit hash; the per-record checksum of the campaign store.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Appends fixed-width little-endian fields to a byte buffer.
+class RecordWriter {
+ public:
+  explicit RecordWriter(std::string& out) : out_(out) {}
+
+  RecordWriter& putU8(std::uint8_t v);
+  RecordWriter& putU32(std::uint32_t v);
+  RecordWriter& putI32(std::int32_t v);
+  RecordWriter& putU64(std::uint64_t v);
+  RecordWriter& putI64(std::int64_t v);
+  /// u32 length prefix + raw bytes.
+  RecordWriter& putBytes(std::string_view bytes);
+
+ private:
+  std::string& out_;
+};
+
+/// Bounds-checked reader over a byte range.  Any out-of-range read clears
+/// ok() and returns 0 / empty; ok() never recovers, so callers can issue a
+/// whole record's reads and check once.
+class RecordReader {
+ public:
+  explicit RecordReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t getU8();
+  std::uint32_t getU32();
+  std::int32_t getI32();
+  std::uint64_t getU64();
+  std::int64_t getI64();
+  std::string_view getBytes();  ///< u32 length prefix + raw bytes
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  bool take(std::size_t count, const char** out);
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
 
 }  // namespace ssvsp

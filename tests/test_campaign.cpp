@@ -1,0 +1,342 @@
+// Campaign-layer tests (src/campaign): the persistent memo store's
+// durability contract (round trip, torn-tail repair on open, refusal of
+// mid-log damage), the manifest ledger's serde and resume semantics, and
+// the headline guarantee — a 2-process campaign that loses a worker to
+// SIGKILL mid-shard still produces a merged report bit-identical to the
+// single-process in-memory sweep.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/store.hpp"
+#include "consensus/registry.hpp"
+#include "mc/checker.hpp"
+#include "util/serde.hpp"
+
+namespace ssvsp {
+namespace {
+
+/// Fresh scratch directory per test.
+class CampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/ssvsp_campaign_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    // Best-effort scrub; files first, then the directory.
+    for (const char* name :
+         {"/manifest.json", "/manifest.json.tmp", "/memo.log"}) {
+      std::remove((dir_ + name).c_str());
+    }
+    ::rmdir(dir_.c_str());
+  }
+
+  std::string storePath() const { return dir_ + "/memo.log"; }
+
+  std::string dir_;
+};
+
+std::int64_t fileSize(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 ? st.st_size : -1;
+}
+
+void appendRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST_F(CampaignTest, StoreRoundTripsAcrossReopen) {
+  std::string error;
+  {
+    auto store = MemoStore::open(storePath(), &error);
+    ASSERT_NE(store, nullptr) << error;
+    EXPECT_EQ(store->openStats().entriesLoaded, 0);
+    store->insert("orbit-a", RunSummary{3, true});
+    store->insert("orbit-b", RunSummary{kNoRound, false});
+    ASSERT_TRUE(store->appendFooter(&error)) << error;
+    EXPECT_EQ(store->entriesAppended(), 2);
+  }
+  auto store = MemoStore::open(storePath(), &error);
+  ASSERT_NE(store, nullptr) << error;
+  EXPECT_EQ(store->openStats().entriesLoaded, 2);
+  EXPECT_EQ(store->openStats().footersSeen, 1);
+  EXPECT_EQ(store->openStats().bytesTruncated, 0);
+  const std::optional<RunSummary> a = store->find("orbit-a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->latency, 3);
+  EXPECT_TRUE(a->consensusOk);
+  const std::optional<RunSummary> b = store->find("orbit-b");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->latency, kNoRound);
+  EXPECT_FALSE(b->consensusOk);
+  EXPECT_FALSE(store->find("orbit-c").has_value());
+}
+
+TEST_F(CampaignTest, StoreRepairsTornTailOnOpen) {
+  std::string error;
+  {
+    auto store = MemoStore::open(storePath(), &error);
+    ASSERT_NE(store, nullptr) << error;
+    store->insert("orbit-a", RunSummary{2, true});
+    ASSERT_TRUE(store->flush(/*sync=*/true, &error)) << error;
+  }
+  const std::int64_t intact = fileSize(storePath());
+  // A worker died mid-write: half a record's worth of garbage at the tail.
+  appendRaw(storePath(), std::string("\x13\x00\x00\x00partial", 11));
+
+  auto store = MemoStore::open(storePath(), &error);
+  ASSERT_NE(store, nullptr) << error;
+  EXPECT_EQ(store->openStats().entriesLoaded, 1);
+  EXPECT_EQ(store->openStats().bytesTruncated, 11);
+  EXPECT_EQ(fileSize(storePath()), intact);  // ftruncate'd back
+  EXPECT_TRUE(store->find("orbit-a").has_value());
+}
+
+TEST_F(CampaignTest, StoreRejectsCorruptChecksumTailButKeepsPrefix) {
+  std::string error;
+  {
+    auto store = MemoStore::open(storePath(), &error);
+    ASSERT_NE(store, nullptr) << error;
+    store->insert("orbit-a", RunSummary{2, true});
+    store->flush(/*sync=*/false);
+    store->insert("orbit-b", RunSummary{4, true});
+    store->flush(/*sync=*/false);
+  }
+  // Flip a byte inside the LAST record's body: its checksum fails, so
+  // replay keeps orbit-a and truncates from the damaged record on.
+  std::ifstream in(storePath(), std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() - 12] ^= 0x40;
+  std::ofstream out(storePath(), std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  auto store = MemoStore::open(storePath(), &error);
+  ASSERT_NE(store, nullptr) << error;
+  EXPECT_EQ(store->openStats().entriesLoaded, 1);
+  EXPECT_GT(store->openStats().bytesTruncated, 0);
+  EXPECT_TRUE(store->find("orbit-a").has_value());
+  EXPECT_FALSE(store->find("orbit-b").has_value());
+}
+
+TEST_F(CampaignTest, StoreRefusesFooterCountMismatch) {
+  std::string error;
+  {
+    auto store = MemoStore::open(storePath(), &error);
+    ASSERT_NE(store, nullptr) << error;
+    store->insert("orbit-a", RunSummary{2, true});
+    ASSERT_TRUE(store->appendFooter(&error)) << error;
+  }
+  // Forge a checksum-VALID footer claiming 7 records for a writer that
+  // appended none: valid frame, inconsistent ledger — records were lost in
+  // the middle of the log, so open() must refuse rather than repair.
+  std::string body;
+  RecordWriter w(body);
+  w.putU8(2).putU32(0xDEAD).putI64(7);
+  std::string frame;
+  RecordWriter f(frame);
+  f.putU32(static_cast<std::uint32_t>(body.size()));
+  frame.append(body);
+  {
+    RecordWriter tail(frame);
+    tail.putU64(fnv1a64(body));
+  }
+  appendRaw(storePath(), frame);
+
+  auto store = MemoStore::open(storePath(), &error);
+  EXPECT_EQ(store, nullptr);
+  EXPECT_NE(error.find("footer count mismatch"), std::string::npos) << error;
+}
+
+TEST_F(CampaignTest, ManifestJsonRoundTrip) {
+  CampaignSpec spec;
+  spec.algorithm = "FloodSet";
+  spec.n = 3;
+  spec.t = 1;
+  spec.shardScripts = 10;
+  CampaignOptions options;
+  options.dir = dir_;
+  options.workers = 0;
+  const CampaignResult result = runCampaign(spec, options);
+  ASSERT_TRUE(result.ok) << result.error;
+
+  std::string error;
+  const auto loaded = campaignStatus(dir_, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  const auto reparsed =
+      CampaignManifest::fromJsonString(loaded->toJsonString(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(reparsed->toJsonString(), loaded->toJsonString());
+  EXPECT_TRUE(reparsed->complete());
+  EXPECT_EQ(reparsed->mergedReport().toJsonString(),
+            result.report.toJsonString());
+}
+
+/// The headline durability guarantee: 2 forked workers, one SIGKILLed
+/// mid-shard (chaos hook), slice reassigned — and the merged report is
+/// bit-identical to the single-process in-memory sweep of the same spec.
+TEST_F(CampaignTest, KilledWorkerCampaignMatchesInMemorySweepBitForBit) {
+  CampaignSpec spec;
+  spec.algorithm = "FloodSetWS";
+  spec.n = 3;
+  spec.t = 1;
+  spec.shardScripts = 10;
+  CampaignOptions options;
+  options.dir = dir_;
+  options.workers = 2;
+  options.chaosKillShard = 1;
+  const CampaignResult fromCampaign = runCampaign(spec, options);
+  ASSERT_TRUE(fromCampaign.ok) << fromCampaign.error;
+  EXPECT_GE(fromCampaign.workerDeaths, 1);  // the chaos kill registered
+
+  std::string error;
+  const auto manifest = campaignStatus(dir_, &error);
+  ASSERT_TRUE(manifest.has_value()) << error;
+  McCheckOptions whole = manifest->shardOptions(0);
+  whole.shard = ShardRange{};  // the full stream, one process, in memory
+  const McReport inMemory = modelCheckConsensus(
+      algorithmByName(spec.algorithm).factory, RoundConfig{spec.n, spec.t},
+      manifest->model, whole);
+  EXPECT_EQ(fromCampaign.report.toJsonString(), inMemory.toJsonString());
+}
+
+TEST_F(CampaignTest, ResumeRerunsOnlyPendingShardsAndMatches) {
+  CampaignSpec spec;
+  spec.algorithm = "FloodSet";
+  spec.n = 3;
+  spec.t = 1;
+  spec.shardScripts = 10;
+  CampaignOptions options;
+  options.dir = dir_;
+  options.workers = 0;
+  const CampaignResult first = runCampaign(spec, options);
+  ASSERT_TRUE(first.ok) << first.error;
+  ASSERT_EQ(first.shardsTotal, 4);
+
+  // Simulate an orchestrator killed before recording shard 2: the ledger
+  // says pending, so resume must rerun exactly that shard.
+  std::string error;
+  auto manifest = campaignStatus(dir_, &error);
+  ASSERT_TRUE(manifest.has_value()) << error;
+  manifest->shards[2].done = false;
+  manifest->shards[2].report = McReport{};
+  ASSERT_TRUE(manifest->save(dir_ + "/manifest.json", &error)) << error;
+
+  const CampaignResult resumed = runCampaign(spec, options);
+  ASSERT_TRUE(resumed.ok) << resumed.error;
+  EXPECT_EQ(resumed.shardsSkipped, 3);
+  EXPECT_EQ(resumed.shardsRun, 1);
+  EXPECT_EQ(resumed.report.toJsonString(), first.report.toJsonString());
+
+  // A different spec against the same dir is refused, not silently mixed.
+  CampaignSpec other = spec;
+  other.shardScripts = 20;
+  const CampaignResult mixed = runCampaign(other, options);
+  EXPECT_FALSE(mixed.ok);
+  EXPECT_NE(mixed.error.find("different spec"), std::string::npos)
+      << mixed.error;
+}
+
+TEST_F(CampaignTest, WarmStoreSweepExecutesZeroEngineRuns) {
+  CampaignSpec spec;
+  spec.algorithm = "FloodSet";
+  spec.n = 3;
+  spec.t = 1;
+  spec.shardScripts = 10;
+  CampaignOptions options;
+  options.dir = dir_;
+  options.workers = 0;
+  const CampaignResult cold = runCampaign(spec, options);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_GT(cold.memoEntriesAppended, 0);
+  EXPECT_GT(cold.stats.runsExecuted, 0);
+
+  // Drop the ledger, keep the store: every shard re-sweeps, every orbit
+  // hits, the engine never runs — and the report does not change.
+  ASSERT_EQ(std::remove((dir_ + "/manifest.json").c_str()), 0);
+  const CampaignResult warm = runCampaign(spec, options);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_GT(warm.memoEntriesLoaded, 0);
+  EXPECT_EQ(warm.stats.runsExecuted, 0);
+  EXPECT_EQ(warm.stats.runsFromMemo, warm.stats.runsRequested);
+  EXPECT_EQ(warm.report.toJsonString(), cold.report.toJsonString());
+}
+
+TEST_F(CampaignTest, QueryAdmissionControl) {
+  CampaignSpec spec;
+  spec.algorithm = "FloodSet";
+  spec.n = 3;
+  spec.t = 1;
+  spec.shardScripts = 10;
+  CampaignOptions options;
+  options.dir = dir_;
+  options.workers = 0;
+  ASSERT_TRUE(runCampaign(spec, options).ok);
+
+  // Complete campaign: in-budget queries answer, out-of-budget rejected.
+  auto answers = queryCampaign(dir_, {0, 1, 2});
+  ASSERT_EQ(answers.size(), 3u);
+  EXPECT_TRUE(answers[0].admitted);
+  EXPECT_EQ(answers[0].latency, 2);  // Lat(FloodSet, 0) = t + 1
+  EXPECT_TRUE(answers[0].consensusOk);
+  EXPECT_TRUE(answers[1].admitted);
+  EXPECT_FALSE(answers[2].admitted);
+  EXPECT_NE(answers[2].reason.find("never swept"), std::string::npos);
+
+  // Incomplete campaign: every query is rejected with a resume hint.
+  std::string error;
+  auto manifest = campaignStatus(dir_, &error);
+  ASSERT_TRUE(manifest.has_value()) << error;
+  manifest->shards[1].done = false;
+  ASSERT_TRUE(manifest->save(dir_ + "/manifest.json", &error)) << error;
+  answers = queryCampaign(dir_, {0});
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_FALSE(answers[0].admitted);
+  EXPECT_NE(answers[0].reason.find("incomplete"), std::string::npos);
+  EXPECT_NE(answers[0].reason.find("shard 1"), std::string::npos);
+
+  // Missing campaign dir: empty answer set plus an error.
+  error.clear();
+  EXPECT_TRUE(queryCampaign(dir_ + "/nope", {0}, &error).empty());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(CampaignTest, RunShardMergeShardsContract) {
+  CampaignSpec spec;
+  spec.algorithm = "FloodSet";
+  spec.n = 3;
+  spec.t = 1;
+  spec.shardScripts = 10;
+  CampaignOptions options;
+  options.dir = dir_;
+  options.workers = 0;
+  const CampaignResult reference = runCampaign(spec, options);
+  ASSERT_TRUE(reference.ok) << reference.error;
+
+  // The public shard API reproduces the campaign result without any
+  // orchestrator: run every ShardJob (no memo), merge in range order.
+  std::string error;
+  const auto manifest = campaignStatus(dir_, &error);
+  ASSERT_TRUE(manifest.has_value()) << error;
+  std::vector<McReport> reports;
+  for (std::size_t i = 0; i < manifest->shards.size(); ++i)
+    reports.push_back(runShard(ShardJob{*manifest, i}, nullptr).report);
+  const McReport merged =
+      mergeShards(std::move(reports), manifest->maxViolations);
+  EXPECT_EQ(merged.toJsonString(), reference.report.toJsonString());
+}
+
+}  // namespace
+}  // namespace ssvsp

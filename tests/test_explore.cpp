@@ -11,6 +11,7 @@
 #include "explore/spec.hpp"
 #include "latency/latency.hpp"
 #include "mc/checker.hpp"
+#include "mc/enumerator.hpp"
 #include "util/check.hpp"
 
 namespace ssvsp {
@@ -255,6 +256,73 @@ TEST(ParallelSweepEngine, EmptyStreamYieldsFreshShard) {
   EXPECT_EQ(outcome.scriptsMerged, 0);
   ASSERT_NE(outcome.merged, nullptr);
   EXPECT_TRUE(static_cast<IndexShard&>(*outcome.merged).indices().empty());
+}
+
+// ------------------------- shard windowing ------------------------------
+
+TEST(ShardPlan, PlanShardRangesIsCeilDivision) {
+  const auto plan = planShardRanges(/*totalScripts=*/37, /*shardScripts=*/10);
+  ASSERT_EQ(plan.size(), 4u);
+  for (std::size_t i = 0; i < plan.size(); ++i)
+    EXPECT_EQ(plan[i].firstScript, static_cast<std::int64_t>(10 * i));
+  // The planner clips the ragged tail; countWithin agrees.
+  EXPECT_EQ(plan[2].numScripts, 10);
+  EXPECT_EQ(plan[3].numScripts, 7);
+  EXPECT_EQ(plan[3].countWithin(37), 7);
+  EXPECT_EQ(plan[0].countWithin(37), 10);
+  // The default range is the whole stream.
+  EXPECT_TRUE(ShardRange{}.whole());
+  EXPECT_EQ(ShardRange{}.countWithin(37), 37);
+}
+
+TEST(ShardPlan, ShardedSweepsKeepGlobalIndicesAndTileTheStream) {
+  const int total = 100;
+  ScriptStream stream =
+      [&](const std::function<bool(const FailureScript&)>& fn) {
+        FailureScript s;
+        for (int i = 0; i < total; ++i)
+          if (!fn(s)) return;
+      };
+  std::vector<std::int64_t> all;
+  for (const ShardRange& range : planShardRanges(total, 33)) {
+    ExploreSpec spec;
+    spec.threads = 2;
+    spec.chunkScripts = 7;
+    spec.shard = range;
+    auto outcome = parallelSweep(
+        stream, spec, [](int) { return std::make_unique<IndexShard>(); });
+    const auto& idx = static_cast<IndexShard&>(*outcome.merged).indices();
+    // The shard sees exactly its slice, under GLOBAL indices — the
+    // invariant that makes per-shard reports merge bit-identically into
+    // the whole-stream result.
+    ASSERT_EQ(static_cast<std::int64_t>(idx.size()), range.countWithin(total));
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      ASSERT_EQ(idx[i], range.firstScript + static_cast<std::int64_t>(i));
+    all.insert(all.end(), idx.begin(), idx.end());
+  }
+  // The shard plan tiles the stream: concatenation is 0..total-1 exactly.
+  ASSERT_EQ(static_cast<int>(all.size()), total);
+  for (int i = 0; i < total; ++i) ASSERT_EQ(all[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ShardPlan, ShardedMcReportsMergeToWholeStreamReport) {
+  const AlgorithmEntry& e = algorithmByName("FloodSetWS");
+  const RoundConfig cfg = cfgOf(3, 1);
+  McCheckOptions whole = mcOptions(1, {1, 0});
+  const McReport reference =
+      modelCheckConsensus(e.factory, cfg, RoundModel::kRws, whole);
+
+  const std::int64_t total =
+      countScripts(cfg, RoundModel::kRws, whole.enumeration);
+  McReport merged;
+  for (const ShardRange& range : planShardRanges(total, 11)) {
+    McCheckOptions sliced = whole;
+    sliced.shard = range;
+    mergeMcReports(merged,
+                   modelCheckConsensus(e.factory, cfg, RoundModel::kRws, sliced),
+                   whole.maxViolations);
+  }
+  expectIdenticalReports(reference, merged);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "mc/checker.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "util/serde.hpp"
 
@@ -257,6 +258,56 @@ TEST(ExportTest, MetricsJsonRoundTripsThroughSerdeReader) {
   ASSERT_EQ(buckets->items.size(), 1u);  // only the non-empty bucket
   EXPECT_EQ(buckets->items[0].items[0].integer, 8);   // lower bound 2^3
   EXPECT_EQ(buckets->items[0].items[1].integer, 1);   // count
+}
+
+// renderLine is the testable core of the progress meter: its percentages
+// and ETA must be relative to the configured totalScripts — for a
+// shard-sliced sweep that is the slice's script count, not the whole
+// stream's — and the memo hit-rate must divide hits by requests-so-far.
+TEST(ProgressMeterTest, RenderLinePercentIsAgainstConfiguredTotal) {
+  obs::ProgressMeter::Options opt;
+  opt.intervalSec = 0;  // never prints on its own; we render directly
+  opt.label = "mc";
+  // A shard slice of 2000 scripts cut from a much larger stream: the
+  // caller passes the windowed count (ShardRange::countWithin), so half
+  // the SLICE reads as 50%, not as a sliver of the whole space.
+  opt.totalScripts = 2000;
+  const obs::ProgressMeter meter(opt);
+  const std::string line =
+      meter.renderLine(1000, /*final=*/false, /*elapsedSec=*/10.0);
+  EXPECT_NE(line.find("mc: 1000/2000 scripts (50.0%)"), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("| 100/s"), std::string::npos) << line;
+  // ETA covers the REMAINING slice scripts at the observed rate.
+  EXPECT_NE(line.find("| ETA 10.0s"), std::string::npos) << line;
+}
+
+TEST(ProgressMeterTest, RenderLineMemoHitRateIsOverRequests) {
+  obs::ProgressMeter::Options opt;
+  opt.intervalSec = 0;
+  opt.totalScripts = 100;
+  opt.memoHits = [] { return std::int64_t{90}; };
+  opt.memoRequests = [] { return std::int64_t{100}; };
+  const obs::ProgressMeter meter(opt);
+  const std::string line = meter.renderLine(100, /*final=*/true, 2.0);
+  // 90 hits out of 100 requested runs = 90%, independent of script counts.
+  EXPECT_NE(line.find("memo hit 90.0%"), std::string::npos) << line;
+  EXPECT_NE(line.find("done in 2.0s"), std::string::npos) << line;
+  // The final line never shows an ETA.
+  EXPECT_EQ(line.find("ETA"), std::string::npos) << line;
+}
+
+TEST(ProgressMeterTest, RenderLineOmitsRatiosWhenTotalsUnknown) {
+  obs::ProgressMeter::Options opt;
+  opt.intervalSec = 0;
+  opt.totalScripts = 0;  // unknown space: no percentage, no ETA
+  opt.memoHits = [] { return std::int64_t{1}; };
+  opt.memoRequests = [] { return std::int64_t{0}; };  // no requests yet
+  const obs::ProgressMeter meter(opt);
+  const std::string line = meter.renderLine(42, /*final=*/false, 1.0);
+  EXPECT_NE(line.find(": 42 scripts"), std::string::npos) << line;
+  EXPECT_EQ(line.find('%'), std::string::npos) << line;
+  EXPECT_EQ(line.find("ETA"), std::string::npos) << line;
 }
 
 }  // namespace
