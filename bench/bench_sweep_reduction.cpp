@@ -1,17 +1,22 @@
 // Experiment E8: the sweep engine's state-space reduction stack.
 //
-// Each cell sweeps one (algorithm, n, t, model) space three ways:
+// Each cell sweeps one (algorithm, n, t, model) space four ways:
 //
 //   legacy  — the pre-reduction hot path: forEachScript x allInitialConfigs
 //             with a fresh runRounds() (new automata, new buffers) per run;
 //   pooled  — modelCheckConsensus with Reduction::kNone: per-worker engine
 //             arenas, pooled automata, checkpoint/prefix resume;
 //   reduced — modelCheckConsensus with Reduction::kSymmetry on top: orbit
-//             memoization over the algorithm's process-id symmetry group.
+//             memoization over the algorithm's process-id symmetry group;
+//   por     — Reduction::kSymmetryPor: the static independence analysis
+//             (src/indep) collapsing observationally-equivalent schedules
+//             onto one memo entry, composed with the orbit memo.
 //
-// Reports must be bit-identical across all three (the reduction contract,
-// see DESIGN.md §10); the table and BENCH_sweep.json record wall-clock,
-// scripts/s, runs/s, the memo reduction factor and peak RSS.
+// Reports must be bit-identical across all four (the reduction contract,
+// see DESIGN.md §10/§13); the table and BENCH_sweep.json record wall-clock,
+// scripts/s, runs/s, the memo reduction factor and peak RSS.  The rws-n4
+// cell gates the ISSUE's POR acceptance: >= 5x fewer executed engine runs
+// than symmetry alone.
 //
 // The `campaign` section additionally measures the campaign layer on one
 // cell: a cold 2-worker campaign whose shard-1 worker is chaos-SIGKILLed
@@ -43,6 +48,7 @@
 #include "campaign/campaign.hpp"
 #include "consensus/registry.hpp"
 #include "explore/reduction.hpp"
+#include "indep/independence.hpp"
 #include "mc/checker.hpp"
 #include "rounds/spec.hpp"
 #include "util/serde.hpp"
@@ -67,6 +73,9 @@ struct Cell {
   /// The ISSUE's acceptance cell carries the >= 5x end-to-end requirement
   /// (reduced vs legacy).
   double requiredSpeedupVsLegacy = 0;
+  /// POR acceptance: executed engine runs under symmetry alone must be at
+  /// least this many times the executed engine runs under symmetry_por.
+  double requiredPorRunsFactor = 0;
 };
 
 McCheckOptions cellOptions(const Cell& cell, int threads) {
@@ -112,6 +121,12 @@ LegacyOutcome legacySweep(const AlgorithmEntry& entry, const Cell& cell,
   return out;
 }
 
+/// Executed engine runs of a sweep: fresh executions plus prefix-covered
+/// reuses — the work the memo failed to avoid.
+std::int64_t engineRuns(const SweepRunStats& stats) {
+  return stats.runsExecuted + stats.runsReusedInEngine;
+}
+
 struct CellResult {
   Cell cell;
   std::int64_t scripts = 0;
@@ -119,7 +134,9 @@ struct CellResult {
   double legacySecs = 0;
   double pooledSecs = 0;
   double reducedSecs = 0;
-  SweepRunStats stats;  ///< from the reduced sweep
+  double porSecs = 0;
+  SweepRunStats stats;     ///< from the reduced (symmetry) sweep
+  SweepRunStats porStats;  ///< from the symmetry_por sweep
   bool identicalReports = false;
 
   double speedupPooled() const {
@@ -133,11 +150,22 @@ struct CellResult {
   }
   /// (script, config) pairs per engine execution: the memo's dedup factor.
   double reductionFactor() const {
-    const std::int64_t executed =
-        stats.runsExecuted + stats.runsReusedInEngine;
+    const std::int64_t executed = engineRuns(stats);
     return executed > 0
                ? static_cast<double>(stats.runsRequested) / executed
                : 0;
+  }
+  double porReductionFactor() const {
+    const std::int64_t executed = engineRuns(porStats);
+    return executed > 0
+               ? static_cast<double>(porStats.runsRequested) / executed
+               : 0;
+  }
+  /// The POR acceptance metric: engine runs under symmetry alone per engine
+  /// run under symmetry_por.
+  double porRunsFactor() const {
+    const std::int64_t por = engineRuns(porStats);
+    return por > 0 ? static_cast<double>(engineRuns(stats)) / por : 0;
   }
 };
 
@@ -167,10 +195,22 @@ CellResult runCell(const Cell& cell, int threads) {
     reduced = modelCheckConsensus(entry.factory, cfg, cell.model, reducedOpt);
   });
 
+  McCheckOptions porOpt = reducedOpt;
+  porOpt.reduction = Reduction::kSymmetryPor;
+  porOpt.decisionFixRound = indep::resolveDecisionFixRound(entry, cfg);
+  porOpt.porReadsAllSenders = entry.footprint.readsAllSenders;
+  porOpt.porReadIdsMask = indep::readIdsMaskFor(entry.footprint, cfg.n);
+  porOpt.runStats = &res.porStats;
+  McReport por;
+  res.porSecs = bench::wallSeconds([&] {
+    por = modelCheckConsensus(entry.factory, cfg, cell.model, porOpt);
+  });
+
   res.scripts = reduced.scriptsVisited;
   res.runs = reduced.runsExecuted;
   res.identicalReports =
       pooled.summary() == reduced.summary() &&
+      pooled.toJsonString() == por.toJsonString() &&
       legacy.scripts == reduced.scriptsVisited &&
       legacy.runs == reduced.runsExecuted &&
       legacy.violations ==
@@ -279,14 +319,16 @@ std::string fmtX(double x) {
 
 void printTable(const std::vector<CellResult>& results) {
   Table table({"cell", "algorithm", "n", "t", "model", "scripts", "runs",
-               "legacy s", "pooled s", "reduced s", "vs legacy", "vs pooled",
-               "dedup", "identical report"});
+               "legacy s", "pooled s", "reduced s", "por s", "vs legacy",
+               "vs pooled", "dedup", "por dedup", "por runs x",
+               "identical report"});
   for (const CellResult& r : results) {
     table.addRowValues(
         r.cell.name, r.cell.algo, r.cell.n, r.cell.t, toString(r.cell.model),
         r.scripts, r.runs, fmtSecs(r.legacySecs), fmtSecs(r.pooledSecs),
-        fmtSecs(r.reducedSecs), fmtX(r.speedupReduced()),
+        fmtSecs(r.reducedSecs), fmtSecs(r.porSecs), fmtX(r.speedupReduced()),
         fmtX(r.speedupReducedVsPooled()), fmtX(r.reductionFactor()),
+        fmtX(r.porReductionFactor()), fmtX(r.porRunsFactor()),
         bench::checkMark(r.identicalReports));
   }
   table.print(std::cout);
@@ -353,11 +395,29 @@ void writeJson(const std::vector<CellResult>& results,
     r.stats.toJson(w);  // the ssvsp.report.v1 sweep_run_stats document
     w.endObject();
 
+    w.key("por").beginObject();
+    w.kv("wall_s", r.porSecs);
+    w.kv("runs_per_s", perSec(r.runs, r.porSecs));
+    w.kv("reduction_factor", r.porReductionFactor());
+    w.kv("engine_runs", engineRuns(r.porStats));
+    w.kv("engine_runs_symmetry", engineRuns(r.stats));
+    w.kv("engine_runs_factor_vs_symmetry", r.porRunsFactor());
+    w.key("stats");
+    r.porStats.toJson(w);
+    w.endObject();
+
     if (r.cell.requiredSpeedupVsLegacy > 0) {
       w.key("acceptance").beginObject();
       w.kv("required_speedup_vs_legacy", r.cell.requiredSpeedupVsLegacy);
       w.kv("measured", r.speedupReduced());
       w.kv("pass", r.speedupReduced() >= r.cell.requiredSpeedupVsLegacy);
+      w.endObject();
+    }
+    if (r.cell.requiredPorRunsFactor > 0) {
+      w.key("por_acceptance").beginObject();
+      w.kv("required_engine_runs_factor", r.cell.requiredPorRunsFactor);
+      w.kv("measured", r.porRunsFactor());
+      w.kv("pass", r.porRunsFactor() >= r.cell.requiredPorRunsFactor);
       w.endObject();
     }
     w.endObject();
@@ -387,12 +447,14 @@ void writeJson(const std::vector<CellResult>& results,
 
 std::vector<Cell> fullCells() {
   return {
-      {"rs-n3", "FloodSet", 3, 2, RoundModel::kRs, -1, 0},
-      {"rs-n4", "FloodSet", 4, 2, RoundModel::kRs, -1, 0},
-      {"rws-n4", "FloodSetWS", 4, 2, RoundModel::kRws, 20000, 0},
-      // The ISSUE's acceptance cell: n=5, f=2, FloodSetWS under RWS.
-      {"rws-n5", "FloodSetWS", 5, 2, RoundModel::kRws, 20000, 5.0},
-      {"rws-n6", "FloodSetWS", 6, 2, RoundModel::kRws, 8000, 0},
+      {"rs-n3", "FloodSet", 3, 2, RoundModel::kRs, -1, 0, 0},
+      {"rs-n4", "FloodSet", 4, 2, RoundModel::kRs, -1, 0, 0},
+      // The POR acceptance cell: symmetry_por must execute >= 5x fewer
+      // engine runs than symmetry alone.
+      {"rws-n4", "FloodSetWS", 4, 2, RoundModel::kRws, 20000, 0, 5.0},
+      // The ISSUE-6 acceptance cell: n=5, f=2, FloodSetWS under RWS.
+      {"rws-n5", "FloodSetWS", 5, 2, RoundModel::kRws, 20000, 5.0, 0},
+      {"rws-n6", "FloodSetWS", 6, 2, RoundModel::kRws, 8000, 0, 0},
   };
 }
 
@@ -464,10 +526,25 @@ int run(int threads, bool smoke, const std::string& outPath,
                 << fmtX(r.cell.requiredSpeedupVsLegacy) << " vs legacy\n";
       rc = 1;
     }
+    if (r.cell.requiredPorRunsFactor > 0 &&
+        r.porRunsFactor() < r.cell.requiredPorRunsFactor) {
+      std::cerr << "FAIL: cell " << r.cell.name << " symmetry_por executed "
+                << engineRuns(r.porStats) << " engine runs vs "
+                << engineRuns(r.stats) << " under symmetry ("
+                << fmtX(r.porRunsFactor()) << ", need >= "
+                << fmtX(r.cell.requiredPorRunsFactor) << ")\n";
+      rc = 1;
+    }
     if (smoke && r.speedupReducedVsPooled() < 2.0) {
       std::cerr << "FAIL: smoke gate: reduced sweep only "
                 << fmtX(r.speedupReducedVsPooled())
                 << " faster than unreduced (need >= 2x)\n";
+      rc = 1;
+    }
+    if (smoke && r.porRunsFactor() < 2.0) {
+      std::cerr << "FAIL: smoke gate: symmetry_por executed only "
+                << fmtX(r.porRunsFactor())
+                << " fewer engine runs than symmetry (need >= 2x)\n";
       rc = 1;
     }
   }

@@ -15,12 +15,14 @@
 //
 // Exit status: 0 clean, 1 when a finding trips the --fail-on threshold
 // (errors by default), 2 on usage problems, 3 when a sweep preflight
-// rejects its spec.
+// rejects its spec, 4 when the POR dynamic tripwire (L500/L501) fires
+// mid-sweep — a static independence claim was refuted by an actual run.
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "analysis/analysis.hpp"
+#include "indep/normalizer.hpp"
 #include "lint/lint.hpp"
 #include "obs/artifacts.hpp"
 #include "util/argspec.hpp"
@@ -110,6 +112,17 @@ int main(int argc, char** argv) {
     std::cerr << renderText(e.diagnostics(), "preflight");
     artifacts.finish(std::cerr);
     return 3;
+  } catch (const indep::PorTripwireError& e) {
+    // The replay/decision tripwire of reduction=symmetry_por: render the
+    // carried L5xx diagnostics instead of an InvariantViolation backtrace.
+    if (json) {
+      std::cout << "]";
+      std::cout << "\n" << renderJson(e.diagnostics(), "por-tripwire")
+                << "\n";
+    }
+    std::cerr << renderText(e.diagnostics(), "por-tripwire");
+    artifacts.finish(std::cerr);
+    return 4;
   }
   if (!artifacts.finish(std::cerr)) return 1;
   return failed ? 1 : 0;

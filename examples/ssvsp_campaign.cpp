@@ -63,6 +63,7 @@ int cmdRun(int argc, char** argv) {
   CampaignSpec spec;
   CampaignOptions options;
   std::string algorithm, nText, tText;
+  std::string reductionName(toString(spec.reduction));
   ArgSpec args("ssvsp_campaign run <algorithm> <n> <t> --dir=DIR [options]",
                "Start (or resume) a sharded multi-process sweep campaign.");
   args.positional("algorithm", &algorithm, "registry name (see --help)")
@@ -77,9 +78,21 @@ int cmdRun(int argc, char** argv) {
              "cap on the script stream (-1 = full space)")
       .value("max-violations", &spec.maxViolations,
              "violation witnesses kept (default 4)")
+      .value("reduction", &reductionName,
+             "none, symmetry or symmetry_por (default symmetry)")
       .value("chaos-kill-shard", &options.chaosKillShard,
              "TEST HOOK: SIGKILL the worker of this shard index once");
   args.parse(&argc, argv);
+  const std::optional<Reduction> reduction =
+      reductionFromString(reductionName);
+  if (!reduction) {
+    std::fprintf(stderr,
+                 "ssvsp_campaign run: unknown reduction '%s' (want none, "
+                 "symmetry or symmetry_por)\n",
+                 reductionName.c_str());
+    return 2;
+  }
+  spec.reduction = *reduction;
   if (findAlgorithm(algorithm) == nullptr) {
     std::fprintf(stderr, "ssvsp_campaign: unknown algorithm '%s'\n",
                  algorithm.c_str());
@@ -121,6 +134,7 @@ int cmdResume(int argc, char** argv) {
   spec.maxScripts = manifest->enumeration.maxScripts;
   spec.shardScripts = manifest->shardScripts;
   spec.maxViolations = manifest->maxViolations;
+  spec.reduction = manifest->reduction;
   return reportCampaign(runCampaign(spec, options));
 }
 

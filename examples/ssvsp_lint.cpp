@@ -6,13 +6,17 @@
 //   $ ./ssvsp_lint --spec "n=3 t=2 model=rws lags=1:0"   # inline sweep spec
 //   $ ./ssvsp_lint --json --budget 1000000 ...     # JSON, custom L208 budget
 //   $ ./ssvsp_lint --fail-on=warning ...           # -Werror for lints
+//   $ ./ssvsp_lint --footprints                    # lint registry footprints
 //
 // Files ending in ".spec" are parsed as sweep-spec texts (the same k=v
 // format as --spec, '#' comments allowed); everything else is a scenario
-// file.  Exit status: 0 when no artifact tripped the --fail-on threshold
-// (errors by default; notes never fail a lint), 1 when at least one did,
-// 2 on usage or I/O problems.  Diagnostic codes are documented in DESIGN.md
-// section 8.
+// file.  --footprints lints every registered algorithm's declared
+// observational footprint (src/indep; codes L510-L512) against a swept
+// system size (--footprints-n, default 4) — the static half of the POR
+// soundness story (reduction=symmetry_por).  Exit status: 0 when no
+// artifact tripped the --fail-on threshold (errors by default; notes never
+// fail a lint), 1 when at least one did, 2 on usage or I/O problems.
+// Diagnostic codes are documented in DESIGN.md section 8.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -20,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "consensus/registry.hpp"
+#include "indep/independence.hpp"
 #include "lint/lint.hpp"
 
 namespace {
@@ -44,9 +50,13 @@ int usage() {
          "  lags            pending-lag menu, ':'-separated,\n"
          "                  e.g. lags=1:0 (default empty)\n"
          "  domain          value domain size (default 2)\n"
+         "  reduction       none | symmetry | symmetry_por\n"
          "  threads, chunk, maxScripts   sweep engine knobs\n"
          "--budget N        script-space size that triggers L208\n"
          "--fail-on=SEV     fail on warnings too, not just errors\n"
+         "--footprints      lint every registry footprint (L510-L512)\n"
+         "--footprints-n N  system size the footprints are linted at "
+         "(default 4)\n"
          "--json            machine-readable output\n";
   return 2;
 }
@@ -64,6 +74,8 @@ int main(int argc, char** argv) {
   SweepLintOptions lintOpt;
   std::string specText;
   bool haveSpec = false;
+  bool footprints = false;
+  int footprintsN = 4;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -82,13 +94,23 @@ int main(int argc, char** argv) {
       if (++i >= argc) return usage();
       specText = argv[i];
       haveSpec = true;
+    } else if (std::strcmp(argv[i], "--footprints") == 0) {
+      footprints = true;
+    } else if (std::strcmp(argv[i], "--footprints-n") == 0) {
+      if (++i >= argc) return usage();
+      try {
+        footprintsN = std::stoi(argv[i]);
+      } catch (const std::exception&) {
+        return usage();
+      }
+      footprints = true;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       return usage();
     } else {
       files.emplace_back(argv[i]);
     }
   }
-  if (!haveSpec && files.empty()) return usage();
+  if (!haveSpec && !footprints && files.empty()) return usage();
 
   bool failed = false;
   bool firstJson = true;
@@ -120,6 +142,14 @@ int main(int argc, char** argv) {
     else
       lintScenarioText(buf.str(), sink);
     emit(file, sink);
+  }
+
+  if (footprints) {
+    for (const AlgorithmEntry& entry : algorithmRegistry()) {
+      DiagnosticSink sink;
+      indep::lintFootprint(entry, footprintsN, sink);
+      emit("footprint:" + entry.name, sink);
+    }
   }
 
   if (haveSpec) {

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "consensus/registry.hpp"
+#include "indep/independence.hpp"
 #include "mc/enumerator.hpp"
 #include "util/check.hpp"
 #include "util/serde.hpp"
@@ -72,10 +73,18 @@ bool buildManifest(const CampaignSpec& spec, CampaignManifest* m,
   m->enumeration.maxCrashes = spec.t;
   if (m->model == RoundModel::kRws) m->enumeration.pendingLags = {1, 0};
   m->enumeration.maxScripts = spec.maxScripts;
-  m->reduction = Reduction::kSymmetry;
+  m->reduction = spec.reduction;
   m->symmetryFixedIds = entry->symmetryFixedIds;
-  m->maxViolations = spec.maxViolations;
   const RoundConfig cfg{spec.n, spec.t};
+  if (spec.reduction == Reduction::kSymmetryPor) {
+    // Resolve the footprint ONCE, into the manifest: every shard (and every
+    // resume) then prunes under the exact same PorSpec.
+    m->decisionFixRound = indep::resolveDecisionFixRound(*entry, cfg);
+    m->porReadsAllSenders = entry->footprint.readsAllSenders;
+    m->porReadIdsMask = indep::readIdsMaskFor(entry->footprint, cfg.n);
+    m->porReplayEvery = indep::replayEveryFromEnv();
+  }
+  m->maxViolations = spec.maxViolations;
   m->totalScripts = countScripts(cfg, m->model, m->enumeration);
   m->shardScripts = spec.shardScripts;
   for (const ShardRange& range :
@@ -92,11 +101,12 @@ bool specMatches(const CampaignSpec& spec, const CampaignManifest& m,
   if (m.algorithm != spec.algorithm || m.n != spec.n || m.t != spec.t ||
       m.enumeration.maxScripts != spec.maxScripts ||
       m.shardScripts != spec.shardScripts ||
-      m.maxViolations != spec.maxViolations)
+      m.maxViolations != spec.maxViolations ||
+      m.reduction != spec.reduction)
     return setError(error,
                     "campaign dir holds a different spec (algorithm/n/t/"
-                    "max_scripts/shard_scripts/max_violations mismatch); "
-                    "use a fresh --dir or matching flags");
+                    "max_scripts/shard_scripts/max_violations/reduction "
+                    "mismatch); use a fresh --dir or matching flags");
   return true;
 }
 

@@ -52,6 +52,12 @@ struct CampaignSpec {
   /// Scripts per shard — the campaign's scheduling grain.
   std::int64_t shardScripts = 2048;
   int maxViolations = 4;
+  /// State-space reduction the shards sweep under.  kSymmetryPor resolves
+  /// the algorithm's observational footprint (src/indep) into the manifest
+  /// at creation time; reports are bit-identical across modes either way,
+  /// and the persistent memo store stays valid across modes (every key maps
+  /// to the true summary of the script it canonicalizes).
+  Reduction reduction = Reduction::kSymmetry;
 };
 
 struct CampaignOptions {

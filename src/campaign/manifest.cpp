@@ -52,6 +52,10 @@ McCheckOptions CampaignManifest::shardOptions(std::size_t index) const {
   options.horizonSlack = horizonSlack;
   options.reduction = reduction;
   options.symmetryFixedIds = symmetryFixedIds;
+  options.decisionFixRound = decisionFixRound;
+  options.porReplayEvery = porReplayEvery;
+  options.porReadsAllSenders = porReadsAllSenders;
+  options.porReadIdsMask = porReadIdsMask;
   options.maxViolations = maxViolations;
   options.threads = 1;
   options.shard = shards[index].range;
@@ -78,8 +82,17 @@ std::string CampaignManifest::toJsonString() const {
   w.endObject();
   w.kv("value_domain", std::int64_t{valueDomain});
   w.kv("horizon_slack", std::int64_t{horizonSlack});
-  w.kv("symmetry_reduction", reduction == Reduction::kSymmetry);
+  // Legacy bool kept so pre-POR readers still parse new manifests; the
+  // string key is authoritative.
+  w.kv("symmetry_reduction", reduction != Reduction::kNone);
+  w.kv("reduction", std::string(toString(reduction)));
   w.kv("symmetry_fixed_ids", std::int64_t{symmetryFixedIds});
+  w.kv("decision_fix_round",
+       decisionFixRound == kNoRound ? std::int64_t{-1}
+                                    : std::int64_t{decisionFixRound});
+  w.kv("por_replay_every", std::int64_t{porReplayEvery});
+  w.kv("por_reads_all_senders", porReadsAllSenders);
+  w.kv("por_read_ids_mask", static_cast<std::int64_t>(porReadIdsMask));
   w.kv("max_violations", std::int64_t{maxViolations});
   w.kv("total_scripts", totalScripts);
   w.kv("shard_scripts", shardScripts);
@@ -147,6 +160,47 @@ std::optional<CampaignManifest> CampaignManifest::fromJsonString(
   }
   m.model = *model;
   m.reduction = symmetry ? Reduction::kSymmetry : Reduction::kNone;
+  // Manifests written since the POR PR carry the authoritative "reduction"
+  // string; older ones only have the legacy bool mapped above.
+  if (const JsonValue* red = doc->find("reduction")) {
+    std::string name;
+    std::optional<Reduction> parsed;
+    if (readJsonString(red, &name)) parsed = reductionFromString(name);
+    if (!parsed) {
+      setError(error, "manifest: bad reduction");
+      return std::nullopt;
+    }
+    m.reduction = *parsed;
+  }
+  // POR fields are optional (absent in pre-POR manifests -> defaults).
+  if (const JsonValue* fix = doc->find("decision_fix_round")) {
+    int value = 0;
+    if (!readJsonInt(fix, &value)) {
+      setError(error, "manifest: bad decision_fix_round");
+      return std::nullopt;
+    }
+    m.decisionFixRound = value < 0 ? kNoRound : value;
+  }
+  if (const JsonValue* every = doc->find("por_replay_every")) {
+    if (!readJsonInt(every, &m.porReplayEvery)) {
+      setError(error, "manifest: bad por_replay_every");
+      return std::nullopt;
+    }
+  }
+  if (const JsonValue* reads = doc->find("por_reads_all_senders")) {
+    if (!readJsonBool(reads, &m.porReadsAllSenders)) {
+      setError(error, "manifest: bad por_reads_all_senders");
+      return std::nullopt;
+    }
+  }
+  if (const JsonValue* mask = doc->find("por_read_ids_mask")) {
+    std::int64_t value = 0;
+    if (!readJsonI64(mask, &value) || value < 0) {
+      setError(error, "manifest: bad por_read_ids_mask");
+      return std::nullopt;
+    }
+    m.porReadIdsMask = static_cast<std::uint64_t>(value);
+  }
   for (const JsonValue& lag : lags->items) {
     int value = 0;
     if (!readJsonInt(&lag, &value)) {

@@ -48,6 +48,13 @@ struct CampaignManifest {
   int horizonSlack = 2;
   Reduction reduction = Reduction::kNone;
   int symmetryFixedIds = 0;
+  /// kSymmetryPor only — the footprint-derived POR facts, resolved once at
+  /// campaign creation so every shard and every resume prunes identically
+  /// (see CampaignSpec::reduction).
+  Round decisionFixRound = kNoRound;
+  int porReplayEvery = 0;
+  bool porReadsAllSenders = true;
+  std::uint64_t porReadIdsMask = 0;
   int maxViolations = 4;
 
   std::int64_t totalScripts = 0;

@@ -57,30 +57,39 @@ const std::vector<AlgorithmEntry>& algorithmRegistry() {
   // symmetryFixedIds: only the A1 family hard-codes process roles (p0
   // broadcasts first, p1 is the fallback), so it pins ids {0, 1}; every
   // flooding algorithm is invariant under all of S_n.
+  // Footprints: every flood-family member carries the structural
+  // `rounds_ == t + 1` decision fallback, so its decisions are fixed by
+  // round t + 1 in every admissible run (floodFootprint); the A1 family
+  // reads p0/p1 by role and declares no decision-fix bound (a1Footprint) —
+  // A1WS_candidate is incorrect by design, so pruning on a decision
+  // horizon it does not honor would be exactly the unsoundness the L500
+  // tripwire exists to catch.
   static const std::vector<AlgorithmEntry> kRegistry = {
       {"FloodSet", RoundModel::kRs, "Fig. 1", false, 0, makeFloodSet(),
-       floodSetBounds()},
+       floodSetBounds(), floodFootprint()},
       {"FloodSetWS", RoundModel::kRws, "Fig. 2", false, 0, makeFloodSetWs(),
-       floodSetBounds()},
+       floodSetBounds(), floodFootprint()},
       {"C_OptFloodSet", RoundModel::kRs, "Sec. 5.2", false, 0,
-       makeCOptFloodSet(), cOptBounds()},
+       makeCOptFloodSet(), cOptBounds(), floodFootprint()},
       {"C_OptFloodSetWS", RoundModel::kRws, "Sec. 5.2", false, 0,
-       makeCOptFloodSetWs(), cOptBounds()},
+       makeCOptFloodSetWs(), cOptBounds(), floodFootprint()},
       {"F_OptFloodSet", RoundModel::kRs, "Fig. 3", false, 0,
-       makeFOptFloodSet(), fOptBounds()},
+       makeFOptFloodSet(), fOptBounds(), floodFootprint()},
       {"F_OptFloodSetWS", RoundModel::kRws, "Fig. 3 (WS)", false, 0,
-       makeFOptFloodSetWs(), fOptBounds()},
-      {"A1", RoundModel::kRs, "Fig. 4", true, 2, makeA1(), a1Bounds()},
+       makeFOptFloodSetWs(), fOptBounds(), floodFootprint()},
+      {"A1", RoundModel::kRs, "Fig. 4", true, 2, makeA1(), a1Bounds(),
+       a1Footprint()},
       // Incorrect by design (the halt set does not repair A1 under RWS), so
       // it ships without a latency contract.
       {"A1WS_candidate", RoundModel::kRws, "Sec. 5.3 (candidate)", true, 2,
-       makeA1WsCandidate(), std::nullopt},
+       makeA1WsCandidate(), std::nullopt, a1Footprint()},
       {"EarlyFloodSet", RoundModel::kRs, "ext ([7])", false, 0,
-       makeEarlyFloodSet(), earlyBounds(2)},
+       makeEarlyFloodSet(), earlyBounds(2), floodFootprint()},
       {"EarlyFloodSetWS", RoundModel::kRws, "ext ([7], WS)", false, 0,
-       makeEarlyFloodSetWs(), earlyBounds(3)},
+       makeEarlyFloodSetWs(), earlyBounds(3), floodFootprint()},
       {"NonUniformEarlyFloodSet", RoundModel::kRs, "Sec. 5.1 (non-uniform)",
-       false, 0, makeNonUniformEarlyFloodSet(), nonUniformBounds()},
+       false, 0, makeNonUniformEarlyFloodSet(), nonUniformBounds(),
+       floodFootprint()},
   };
   return kRegistry;
 }

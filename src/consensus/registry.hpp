@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "consensus/bounds.hpp"
+#include "indep/footprint.hpp"
 #include "rounds/failure_script.hpp"
 #include "rounds/round_automaton.hpp"
 
@@ -36,6 +37,13 @@ struct AlgorithmEntry {
   /// quantities from the automaton and reports L400 on divergence; nullopt
   /// means "no contract" (A1WS_candidate, which is incorrect by design).
   std::optional<DeclaredLatencyBounds> declaredBounds;
+  /// What the algorithm's observable state can depend on — the declaration
+  /// the independence analyzer (src/indep) turns into sleep-set pruning
+  /// under Reduction::kSymmetryPor.  Declared in the style of
+  /// symmetryFixedIds; linted by lintFootprint (L510-L512) and dynamically
+  /// tripwired (L500/L501).  Default-constructed = undeclared: POR falls
+  /// back to the algorithm-independent structural rules only.
+  ObservationalFootprint footprint;
 };
 
 /// All registered algorithms, paper order.

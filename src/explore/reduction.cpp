@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "explore/spec.hpp"
+#include "lint/codes.hpp"
 #include "obs/obs.hpp"
 #include "rounds/spec.hpp"
 #include "util/check.hpp"
@@ -222,20 +224,37 @@ std::optional<SweepRunStats> SweepRunStats::fromJson(const JsonValue& doc,
   return s;
 }
 
+indep::PorSpec porSpecFromExplore(const ExploreSpec& spec) {
+  indep::PorSpec por;
+  por.decisionFixRound = spec.decisionFixRound;
+  por.engineHorizon = spec.enumeration.horizon + spec.horizonSlack;
+  por.readsAllSenders = spec.porReadsAllSenders;
+  por.readIdsMask = spec.porReadIdsMask;
+  por.replayEvery = spec.porReplayEvery;
+  return por;
+}
+
 RunExecutor::RunExecutor(const RoundConfig& cfg, RoundModel model,
                          RoundAutomatonFactory factory,
                          std::vector<std::vector<Value>> configs,
                          const RoundEngineOptions& engineOptions,
-                         const SymmetryGroup* group, RunMemo* memo)
+                         const SymmetryGroup* group, RunMemo* memo,
+                         const indep::PorSpec* por)
     : configs_(std::move(configs)) {
   SSVSP_CHECK(!configs_.empty());
   engines_.reserve(configs_.size());
   for (std::size_t i = 0; i < configs_.size(); ++i)
     engines_.push_back(
         std::make_unique<RoundEngine>(cfg, model, factory, engineOptions));
-  if (group != nullptr && memo != nullptr && !group->trivial()) {
+  // POR alone still collapses distinct enumerated scripts onto one class
+  // representative, so the memo pays off even over a trivial group; plain
+  // symmetry over a trivial group never sees a repeated key and skips it.
+  if (group != nullptr && memo != nullptr &&
+      (!group->trivial() || por != nullptr)) {
     memo_ = memo;
     canon_ = std::make_unique<PairCanonicalizer>(*group);
+    if (por != nullptr)
+      normalizer_ = std::make_unique<indep::ScriptNormalizer>(cfg, *por);
   }
 }
 
@@ -248,22 +267,82 @@ RunSummary RunExecutor::run(const FailureScript& script,
   const std::string* key = nullptr;
   if (canon_ != nullptr) {
     if (scriptIndex < 0 || scriptIndex != lastScriptIndex_) {
-      canon_->setScript(script);
+      if (normalizer_ != nullptr) {
+        canon_->setScript(normalizer_->normalize(script));
+        lastCollapsed_ = normalizer_->lastCollapsed();
+      } else {
+        canon_->setScript(script);
+      }
       lastScriptIndex_ = scriptIndex;
     }
     key = &canon_->key(configs_[configIndex]);
     if (std::optional<RunSummary> hit = memo_->find(*key)) {
       runsFromMemo_.fetch_add(1, std::memory_order_relaxed);
+      if (normalizer_ != nullptr && lastCollapsed_) {
+        const int every = normalizer_->spec().replayEvery;
+        if (every > 0 && ++collapsedHits_ % every == 0)
+          replayCheck(script, configIndex, *hit);
+      }
       return *hit;
     }
   }
 
+  const RunSummary summary = execute(script, configIndex);
+  if (key != nullptr) memo_->insert(*key, summary);
+  return summary;
+}
+
+RunSummary RunExecutor::execute(const FailureScript& script,
+                                std::size_t configIndex) {
   RoundEngine& engine = *engines_[configIndex];
   engine.execute(configs_[configIndex], script);
   const RoundRunResult& run = engine.result();
   const RunSummary summary{run.latency(), checkUniformConsensus(run).ok()};
-  if (key != nullptr) memo_->insert(*key, summary);
+  if (normalizer_ != nullptr) {
+    // L500: every executed run dynamically re-validates the footprint's
+    // decision-fix claim — a decision AFTER the declared round D would void
+    // the F1 pruning rules for this whole sweep.
+    const Round fixBy = normalizer_->spec().decisionFixRound;
+    if (fixBy != kNoRound) {
+      for (std::size_t p = 0; p < run.decisionRound.size(); ++p) {
+        const Round dr = run.decisionRound[p];
+        if (dr != kNoRound && dr > fixBy) {
+          std::ostringstream msg;
+          msg << "process " << p << " decided in round " << dr
+              << ", after the declared decision-fix round " << fixBy
+              << " (script " << script.toString() << ")";
+          std::vector<Diagnostic> ds;
+          ds.push_back({std::string(kDiagPorDecisionPastFix), Severity::kError,
+                        {}, msg.str(),
+                        "fix the algorithm's ObservationalFootprint::"
+                        "decisionFixBy or run with reduction=symmetry"});
+          throw indep::PorTripwireError(std::move(ds));
+        }
+      }
+    }
+  }
   return summary;
+}
+
+void RunExecutor::replayCheck(const FailureScript& script,
+                              std::size_t configIndex,
+                              const RunSummary& memoized) {
+  const RunSummary fresh = execute(script, configIndex);
+  if (fresh.latency == memoized.latency &&
+      fresh.consensusOk == memoized.consensusOk)
+    return;
+  std::ostringstream msg;
+  msg << "replayed pruned schedule disagrees with its class representative: "
+      << "fresh (latency " << fresh.latency << ", consensusOk "
+      << fresh.consensusOk << ") vs memoized (latency " << memoized.latency
+      << ", consensusOk " << memoized.consensusOk << ") for script "
+      << script.toString();
+  std::vector<Diagnostic> ds;
+  ds.push_back({std::string(kDiagPorReplayMismatch), Severity::kError, {},
+                msg.str(),
+                "the independence analysis collapsed two observably different "
+                "schedules; fix the footprint declaration or the normalizer"});
+  throw indep::PorTripwireError(std::move(ds));
 }
 
 SweepRunStats RunExecutor::stats() const {

@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "indep/normalizer.hpp"
 #include "obs/metrics.hpp"
 #include "rounds/engine.hpp"
 #include "rounds/failure_script.hpp"
@@ -192,6 +193,15 @@ struct SweepRunStats {
                                                std::string* error = nullptr);
 };
 
+struct ExploreSpec;  // explore/spec.hpp
+
+/// The indep::PorSpec a kSymmetryPor sweep over `spec` hands its executors:
+/// the spec's resolved POR fields plus the ENGINE horizon (enumeration
+/// horizon + slack) for S3.  Pure repackaging — resolution against the
+/// algorithm's footprint happens earlier, at the entry-aware call sites
+/// (indep::porSpecFor / resolveDecisionFixRound).
+indep::PorSpec porSpecFromExplore(const ExploreSpec& spec);
+
 /// The per-worker execution arena: one pooled, checkpoint-resuming
 /// RoundEngine per initial configuration, plus the canonicalizer feeding
 /// the shared memo.  A sweep creates one executor per worker thread (see
@@ -202,12 +212,19 @@ class RunExecutor {
  public:
   /// `group`/`memo` may be null (or the group trivial) to disable symmetry
   /// reduction; pooling and prefix-resume still apply.  `configs` is
-  /// copied.  Both referenced objects must outlive the executor.
+  /// copied.  All referenced objects must outlive the executor.
+  ///
+  /// `por` non-null composes the POR collapse on top (kSymmetryPor): scripts
+  /// are mapped through an indep::ScriptNormalizer before canonicalization,
+  /// so independence classes share one memo entry even when the symmetry
+  /// group is trivial.  The TRUE script is what executes on a miss; the
+  /// normalized form is only ever the key.
   RunExecutor(const RoundConfig& cfg, RoundModel model,
               RoundAutomatonFactory factory,
               std::vector<std::vector<Value>> configs,
               const RoundEngineOptions& engineOptions,
-              const SymmetryGroup* group, RunMemo* memo);
+              const SymmetryGroup* group, RunMemo* memo,
+              const indep::PorSpec* por = nullptr);
 
   /// The summary of running configs[configIndex] under `script` — recalled
   /// from the memo when the pair's orbit already executed, freshly executed
@@ -233,10 +250,21 @@ class RunExecutor {
   }
 
  private:
+  /// Fresh engine execution of `script` on configs_[configIndex], plus the
+  /// L500 tripwire (no decision past the declared fix round) when POR is on.
+  RunSummary execute(const FailureScript& script, std::size_t configIndex);
+  /// L501 tripwire: re-execute the TRUE script of a collapsed memo hit and
+  /// compare with the memoized class summary.
+  void replayCheck(const FailureScript& script, std::size_t configIndex,
+                   const RunSummary& memoized);
+
   std::vector<std::vector<Value>> configs_;
   std::vector<std::unique_ptr<RoundEngine>> engines_;  ///< one per config
   RunMemo* memo_ = nullptr;
   std::unique_ptr<PairCanonicalizer> canon_;  ///< null = reduction off
+  std::unique_ptr<indep::ScriptNormalizer> normalizer_;  ///< null = POR off
+  bool lastCollapsed_ = false;  ///< normalize() changed the cached script
+  std::int64_t collapsedHits_ = 0;  ///< memo hits on collapsed scripts
   std::int64_t lastScriptIndex_ = -1;
   std::atomic<std::int64_t> runsRequested_{0};
   std::atomic<std::int64_t> runsFromMemo_{0};

@@ -16,7 +16,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
+
+#include "util/types.hpp"
 
 namespace ssvsp {
 
@@ -44,7 +48,43 @@ enum class Reduction {
   /// by construction — the sweep still visits every pair, only the engine
   /// work is deduplicated.
   kSymmetry,
+  /// kSymmetry composed with the static independence analysis (src/indep):
+  /// before symmetry canonicalization each script is mapped to the
+  /// representative of its observational-equivalence class
+  /// (indep::ScriptNormalizer), so schedules that differ only in choices
+  /// the algorithm cannot observe — deliveries past the declared
+  /// decision-fix round, toward crashed receivers, past the engine horizon,
+  /// FIFO-tied arrival orders — share one engine execution on top of the
+  /// orbit collapse.  Same bit-identity contract as kSymmetry: the
+  /// enumerated stream, script indices and per-run folds never change,
+  /// only executions are deduplicated.  Uses `decisionFixRound` (resolved
+  /// from the AlgorithmEntry footprint, see indep::porSpecFor) for the
+  /// decision-horizon rules; kNoRound keeps the algorithm-independent
+  /// structural rules only.
+  kSymmetryPor,
 };
+
+/// The spelling used by sweep specs, CLI flags and the campaign manifest:
+/// "none" / "symmetry" / "symmetry_por".
+constexpr std::string_view toString(Reduction reduction) {
+  switch (reduction) {
+    case Reduction::kNone:
+      return "none";
+    case Reduction::kSymmetry:
+      return "symmetry";
+    case Reduction::kSymmetryPor:
+      return "symmetry_por";
+  }
+  return "none";
+}
+
+/// Inverse of toString(Reduction); nullopt on an unknown spelling.
+constexpr std::optional<Reduction> reductionFromString(std::string_view s) {
+  if (s == "none") return Reduction::kNone;
+  if (s == "symmetry") return Reduction::kSymmetry;
+  if (s == "symmetry_por") return Reduction::kSymmetryPor;
+  return std::nullopt;
+}
 
 /// A contiguous slice of the canonical script stream — the unit of work the
 /// campaign layer (src/campaign) addresses, schedules across processes and
@@ -84,6 +124,26 @@ struct ExploreSpec {
   /// Leading process ids NOT permuted by symmetry reduction (the ids the
   /// algorithm distinguishes; 0 for fully symmetric algorithms, 2 for A1).
   int symmetryFixedIds = 0;
+  /// kSymmetryPor only: round by which every process's decision is fixed
+  /// in every admissible run, resolved from the algorithm's declared
+  /// footprint at f = t (indep::resolveDecisionFixRound); kNoRound = no
+  /// declared bound — POR keeps only its structural rules.  Ignored by the
+  /// other reduction modes.
+  Round decisionFixRound = kNoRound;
+  /// kSymmetryPor only: the SSVSP_CHECK replay tripwire — every Nth memo
+  /// hit whose script was POR-collapsed is re-executed fresh and compared
+  /// against the memoized class summary; a mismatch raises L501
+  /// (indep::PorTripwireError).  0 disables; the por-equality CI leg and
+  /// the soundness ctests run with it on.
+  int porReplayEvery = 0;
+  /// kSymmetryPor only: F2 of the footprint — false means only the senders
+  /// in `porReadIdsMask` can influence any observable state, so delivery
+  /// choices of every other sender collapse.  Copied from the algorithm's
+  /// ObservationalFootprint by the same callers that copy symmetryFixedIds.
+  bool porReadsAllSenders = true;
+  /// Distinguished read ids (bit per process id) when porReadsAllSenders is
+  /// false.
+  std::uint64_t porReadIdsMask = 0;
   /// Extra engine rounds past the enumeration horizon, so that decisions
   /// scheduled at t+1 still happen when crashes land late.
   int horizonSlack = 2;

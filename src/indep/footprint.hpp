@@ -1,0 +1,89 @@
+// Observational footprints: what a round automaton's observable state can
+// depend on, declared per registry entry in the style of symmetryFixedIds.
+//
+// The independence analyzer (src/indep/independence.hpp) combines these
+// declarations with the structural delivery rules of src/rounds/engine to
+// decide which scheduler choices — crash rounds, partial-send mask bits,
+// RWS pending slots and arrival lags — can influence any process's
+// observable state (estimate set, decision, halting round).  Choices that
+// cannot are independent of every run summary, which is what licenses the
+// sleep-set style collapse performed by ScriptNormalizer under
+// ExploreSpec::reduction = kSymmetryPor.
+//
+// The struct is header-only on purpose: consensus/registry.hpp embeds it in
+// AlgorithmEntry without linking the analyzer, exactly like BoundExpr.
+// Declarations are TRUSTED INPUT in the same sense declaredBounds are: they
+// are linted statically (lintFootprint, codes L510-L512) and checked
+// dynamically (the SSVSP_CHECK tripwire replays pruned schedules and raises
+// L500/L501 on any divergence), but a wrong declaration that slips past
+// both would make pruning unsound — which is why every rule derived from a
+// declaration is also covered by the registry-wide bit-identity ctest.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "consensus/bounds.hpp"
+#include "util/types.hpp"
+
+namespace ssvsp {
+
+/// Per-algorithm observational footprint.  Default-constructed means
+/// "undeclared": the analyzer reports L512 and treats every scheduler
+/// choice as all-dependent (only algorithm-independent engine-structural
+/// rules remain, see indep::IndependenceModel).
+struct ObservationalFootprint {
+  /// True once any field has been deliberately declared.  Kept explicit
+  /// (instead of inferring from the defaults) so "declared fully
+  /// conservative" and "never declared" lint differently.
+  bool declared = false;
+
+  /// Upper bound, as a function of (f, t), on the round by which EVERY
+  /// process's decision is fixed in EVERY admissible run: no process
+  /// decides in a later round, and decisions are final (the engine enforces
+  /// finality unconditionally).  The flood family forces a decision at its
+  /// `rounds_ == t + 1` fallback, so it declares t + 1.  nullopt = no such
+  /// structural bound (A1's candidate repair under RWS is wrong by design,
+  /// so neither A1 entry declares one); the analyzer then derives no
+  /// decision-horizon rule.  Resolved at the adversarial worst case f = t.
+  std::optional<BoundExpr> decisionFixBy;
+
+  /// The automaton's transition() absorbs every sender's inbox slot into
+  /// observable state (the flood family's `absorb`).  When false, only
+  /// messages from `readIds` senders can influence observable state and
+  /// every other sender's delivery choices are independent of the summary.
+  bool readsAllSenders = true;
+
+  /// Process ids the algorithm reads in a DISTINGUISHED way (beyond the
+  /// anonymous all-senders closure): A1 inspects p0/p1 by role.  Must lie
+  /// in [0, n) for every swept n — linted as L510.
+  std::vector<ProcessId> readIds;
+
+  /// Ids whose observable state transition() writes, beyond the process's
+  /// own (round automata write only self; the field exists so the closure
+  /// check L511 — writes covered by reads — is expressible and enforced).
+  std::vector<ProcessId> writeIds;
+};
+
+/// Footprint of the flood family: fully anonymous reads, self-only writes,
+/// decision structurally fixed by round t + 1 (the `rounds_ == t + 1`
+/// fallback every member carries).
+inline ObservationalFootprint floodFootprint() {
+  ObservationalFootprint fp;
+  fp.declared = true;
+  fp.decisionFixBy = boundTPlus(1);
+  return fp;
+}
+
+/// Footprint of the A1 family: p0/p1 are read by role, and no decision-fix
+/// round is declared (A1WS_candidate is incorrect by design, and A1's
+/// decision round depends on the crash pattern) — only the structural
+/// delivery rules apply.
+inline ObservationalFootprint a1Footprint() {
+  ObservationalFootprint fp;
+  fp.declared = true;
+  fp.readIds = {0, 1};
+  return fp;
+}
+
+}  // namespace ssvsp

@@ -1,0 +1,109 @@
+#include "indep/independence.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "lint/codes.hpp"
+
+namespace ssvsp::indep {
+
+namespace {
+
+bool idsInRange(const std::vector<ProcessId>& ids, int n,
+                const char* which, const std::string& algo,
+                DiagnosticSink& sink) {
+  bool ok = true;
+  for (ProcessId p : ids) {
+    if (p >= 0 && p < n) continue;
+    std::ostringstream os;
+    os << algo << ": footprint " << which << " names p" << p
+       << " outside [0, " << n << ")";
+    sink.report(std::string(kDiagFootprintIdOutOfRange), Severity::kError,
+                os.str(), "declare only ids that exist at every swept n");
+    ok = false;
+  }
+  return ok;
+}
+
+}  // namespace
+
+bool lintFootprint(const AlgorithmEntry& entry, int n,
+                   DiagnosticSink& sink) {
+  const ObservationalFootprint& fp = entry.footprint;
+  if (!fp.declared) {
+    sink.report(std::string(kDiagFootprintMissing), Severity::kWarning,
+                entry.name + ": no observational footprint declared",
+                "POR treats every choice as all-dependent; declare one on "
+                "the registry entry to enable decision-horizon pruning");
+    return true;  // the fallback is sound, merely slow
+  }
+  bool ok = idsInRange(fp.readIds, n, "readIds", entry.name, sink);
+  ok &= idsInRange(fp.writeIds, n, "writeIds", entry.name, sink);
+
+  // Write-set closure: a write to another process's observable state that
+  // the algorithm never reads back could change summaries through a path
+  // the analyzer does not model — reject the declaration outright.
+  for (ProcessId w : fp.writeIds) {
+    if (w < 0 || w >= n) continue;  // already L510 above
+    const bool covered =
+        fp.readsAllSenders ||
+        std::find(fp.readIds.begin(), fp.readIds.end(), w) !=
+            fp.readIds.end();
+    if (covered) continue;
+    std::ostringstream os;
+    os << entry.name << ": footprint writes p" << w
+       << " outside its read-set closure";
+    sink.report(std::string(kDiagFootprintWriteNotRead), Severity::kError,
+                os.str(),
+                "add the id to readIds or set readsAllSenders = true");
+    ok = false;
+  }
+  return ok;
+}
+
+Round resolveDecisionFixRound(const AlgorithmEntry& entry,
+                              const RoundConfig& cfg,
+                              DiagnosticSink* sink) {
+  DiagnosticSink local;
+  DiagnosticSink& out = sink != nullptr ? *sink : local;
+  if (!lintFootprint(entry, cfg.n, out)) return kNoRound;
+  if (!entry.footprint.declared || !entry.footprint.decisionFixBy)
+    return kNoRound;
+  // Worst case over the swept crash budgets: every declared bound is
+  // monotone in f, so f = t dominates.
+  return entry.footprint.decisionFixBy->eval(cfg.t, cfg.t);
+}
+
+int replayEveryFromEnv() {
+  const char* raw = std::getenv("SSVSP_CHECK");
+  if (raw == nullptr || raw[0] == '\0') return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(raw, &end, 10);
+  if (end != raw && *end == '\0')
+    return parsed > 0 ? static_cast<int>(parsed) : 0;
+  return 1;  // non-numeric ("on", "yes", ...) = replay every collapsed hit
+}
+
+std::uint64_t readIdsMaskFor(const ObservationalFootprint& footprint, int n) {
+  std::uint64_t mask = 0;
+  if (footprint.declared && !footprint.readsAllSenders)
+    for (ProcessId p : footprint.readIds)
+      if (p >= 0 && p < n) mask |= std::uint64_t{1} << p;
+  return mask;
+}
+
+PorSpec porSpecFor(const AlgorithmEntry& entry, const RoundConfig& cfg,
+                   Round engineHorizon, DiagnosticSink* sink) {
+  PorSpec spec;
+  spec.engineHorizon = engineHorizon;
+  spec.decisionFixRound = resolveDecisionFixRound(entry, cfg, sink);
+  const ObservationalFootprint& fp = entry.footprint;
+  if (fp.declared && !fp.readsAllSenders) {
+    spec.readsAllSenders = false;
+    spec.readIdsMask = readIdsMaskFor(fp, cfg.n);
+  }
+  return spec;
+}
+
+}  // namespace ssvsp::indep

@@ -1,0 +1,138 @@
+#include "indep/normalizer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ssvsp::indep {
+
+PorTripwireError::PorTripwireError(std::vector<Diagnostic> diagnostics)
+    : InvariantViolation(renderText(diagnostics, "por-tripwire")),
+      diagnostics_(std::move(diagnostics)) {}
+
+ScriptNormalizer::ScriptNormalizer(const RoundConfig& cfg,
+                                   const PorSpec& spec)
+    : cfg_(cfg), spec_(spec) {
+  SSVSP_CHECK(spec_.engineHorizon >= 1);
+  // A decision "fixed" before round 1 is meaningless; refuse to prune on it
+  // rather than collapse the whole space.
+  if (spec_.decisionFixRound != kNoRound && spec_.decisionFixRound < 1)
+    spec_.decisionFixRound = kNoRound;
+}
+
+const FailureScript& ScriptNormalizer::normalize(
+    const FailureScript& script) {
+  lastCollapsed_ = false;
+  out_.crashes = script.crashes;
+  out_.pendings.clear();
+
+  const Round fixD = spec_.decisionFixRound;
+
+  // Crash rounds strictly above D + 1 collapse to D + 1: both scripts send
+  // full broadcasts through round D, every later difference arrives past D
+  // (unobservable by F1), and the crasher stays in the faulty set either
+  // way (D + 1 never exceeds an admissible enumeration horizon).  Crashes
+  // AT D + 1 keep their round — their round-D messages are observable and
+  // the per-channel pass below normalizes them individually.
+  if (fixD != kNoRound) {
+    for (CrashEvent& c : out_.crashes) {
+      if (c.round > fixD + 1) {
+        c.round = fixD + 1;
+        lastCollapsed_ = true;
+      }
+    }
+  }
+
+  crashRound_.assign(static_cast<std::size_t>(cfg_.n), kNoRound);
+  for (const CrashEvent& c : out_.crashes)
+    crashRound_[static_cast<std::size_t>(c.p)] = c.round;
+
+  // Latest round any delivery can influence a summary: the decision-fix
+  // round when declared (F1), the engine horizon always (S3).
+  const Round limit =
+      fixD == kNoRound ? spec_.engineHorizon
+                       : std::min(fixD, spec_.engineHorizon);
+
+  // Raw pending arrival of (src, dst, round), if the script chose one.
+  // Admissible scripts only pend a dying sender's last two rounds, so the
+  // list stays tiny; a linear scan beats building a map.
+  const auto rawPending = [&script](ProcessId src, ProcessId dst,
+                                    Round round) -> const PendingChoice* {
+    for (const PendingChoice& pc : script.pendings)
+      if (pc.src == src && pc.dst == dst && pc.round == round) return &pc;
+    return nullptr;
+  };
+
+  for (CrashEvent& c : out_.crashes) {
+    const Round rB = c.round;      // the partial-send round
+    const Round rA = c.round - 1;  // the last full-broadcast round (0: none)
+    // F2: a sender outside the read closure influences no summary at all.
+    const bool srcRead =
+        spec_.readsAllSenders ||
+        ((spec_.readIdsMask >> static_cast<unsigned>(c.p)) & 1U) != 0;
+
+    std::uint64_t newMask = 0;
+    for (ProcessId dst = 0; dst < cfg_.n; ++dst) {
+      if (dst == c.p) continue;
+      const Round dstCrash = crashRound_[static_cast<std::size_t>(dst)];
+      const bool hadBit = c.sendTo.contains(dst);
+      const PendingChoice* prevA =
+          rA >= 1 ? rawPending(c.p, dst, rA) : nullptr;
+      const PendingChoice* prevB =
+          hadBit ? rawPending(c.p, dst, rB) : nullptr;
+
+      // Raw arrivals; kNoRound = the message never enters the inbox
+      // (absent and never-surfacing are engine-identical, S4).
+      const Round rawA =
+          rA >= 1 ? (prevA != nullptr ? prevA->arrival : rA) : kNoRound;
+      const Round rawB =
+          hadBit ? (prevB != nullptr ? prevB->arrival : rB) : kNoRound;
+
+      // Effective arrivals (S2): the channel's only interaction is the
+      // (mA, mB) pair becoming deliverable in the same round — the older
+      // mA goes first and mB slips one round.
+      const Round effA = rawA;
+      Round effB = rawB;
+      if (rawA != kNoRound && rawB != kNoRound && rawB == rawA)
+        effB = rawA + 1;
+
+      const auto observable = [&](Round e) {
+        return srcRead && e != kNoRound && e <= limit && e < dstCrash;
+      };
+
+      // mA normal form: on-time is implicit, an observable lag is an
+      // explicit arrival, anything unobservable is canonically "never".
+      if (rA >= 1) {
+        if (observable(effA)) {
+          // effA is never rewritten (mA is the channel's oldest message),
+          // so an observable mA keeps its raw form: no collapse here.
+          if (effA != rA) out_.pendings.push_back({c.p, dst, rA, effA});
+        } else {
+          out_.pendings.push_back({c.p, dst, rA, kNoRound});
+          if (prevA == nullptr || prevA->arrival != kNoRound)
+            lastCollapsed_ = true;
+        }
+      }
+
+      // mB normal form: an unobservable delivery is canonically an UNSET
+      // mask bit (S4); observable ones keep the bit, with the effective
+      // arrival written back explicitly when it is not on-time.
+      if (observable(effB)) {
+        newMask |= std::uint64_t{1} << static_cast<unsigned>(dst);
+        if (effB != rB) {
+          out_.pendings.push_back({c.p, dst, rB, effB});
+          // The one observable rewrite: the S2 tie slipped mB a round.
+          if (prevB == nullptr || prevB->arrival != effB)
+            lastCollapsed_ = true;
+        }
+      } else {
+        if (hadBit) lastCollapsed_ = true;
+      }
+    }
+    if (newMask != c.sendTo.mask()) c.sendTo = ProcessSet::fromMask(newMask);
+  }
+  return out_;
+}
+
+}  // namespace ssvsp::indep

@@ -1,0 +1,93 @@
+// ScriptNormalizer: the sleep-set quotient map over enumeration choices.
+//
+// normalize(script) returns the canonical representative of the script's
+// independence class under the facts derived in independence.hpp: two
+// scripts map to the same representative iff the analysis proves every
+// (config, script) run summary identical between them.  The sweep executor
+// (explore/reduction.cpp, Reduction::kSymmetryPor) keys its memo on
+// symmetry-canonical(normalize(script), config) instead of
+// symmetry-canonical(script, config), so a whole independence class —
+// crossed with its symmetry orbit — pays for ONE engine execution.  The
+// TRUE script is always the one executed on a class miss; the normalized
+// form is only ever a memo key, so it needs no admissibility of its own.
+//
+// ## The per-channel normal form
+//
+// A dying sender (crash at round c) owns at most two undelivered messages
+// per receiver dst: mA sent in round c-1 (always sent, possibly pending)
+// and mB sent in round c (iff dst is in the partial-send mask, possibly
+// pending).  Everything the engine does with the pair is determined by
+// their EFFECTIVE arrivals (structural fact S2: if both raw arrivals are
+// equal the older delivers first and the younger slips one round).  The
+// normal form therefore:
+//
+//   1. computes effective arrivals (effA, effB) from the raw choices,
+//   2. erases each one that is unobservable — effective arrival at or
+//      after the receiver's crash round (S1), past the engine horizon
+//      (S3), past the decision-fix round D (F1), or from a sender outside
+//      the read closure (F2) — to "never",
+//   3. re-encodes: an unobservable mB becomes an UNSET mask bit (S4), an
+//      observable pair is written back as explicit arrivals, with on-time
+//      arrivals carried implicitly (no pending entry).
+//
+// Crash rounds above D collapse to D + 1 (empty mask, no pendings): both
+// scripts send full broadcasts through round D, both crashers stay in the
+// faulty set (D + 1 never exceeds the engine horizon the enumerator
+// admits), and every post-D difference is unobservable by F1.
+//
+// Soundness is enforced three ways: the registry-wide bit-identity ctest
+// (tests/test_reduction.cpp), the L500 check on every executed run (no
+// decision after D), and the L501 replay tripwire on sampled pruned
+// schedules — see PorTripwireError below.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "indep/independence.hpp"
+#include "lint/diagnostic.hpp"
+#include "rounds/failure_script.hpp"
+
+namespace ssvsp::indep {
+
+/// Thrown when the dynamic tripwire invalidates a static independence
+/// claim (codes L500/L501).  Derives from InvariantViolation so existing
+/// catch sites abort loudly; CLIs (ssvsp_analyze/ssvsp_lint --json) render
+/// the carried diagnostics instead of a backtrace.
+class PorTripwireError : public InvariantViolation {
+ public:
+  explicit PorTripwireError(std::vector<Diagnostic> diagnostics);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Maps scripts to independence-class representatives.  Single-threaded
+/// (one instance per worker executor); the returned reference is into an
+/// internal buffer invalidated by the next normalize() call.
+class ScriptNormalizer {
+ public:
+  ScriptNormalizer(const RoundConfig& cfg, const PorSpec& spec);
+
+  /// The class representative of `script`.  Also records whether the
+  /// representative differs from the input (lastCollapsed()) — the signal
+  /// the executor's replay tripwire samples on.
+  const FailureScript& normalize(const FailureScript& script);
+
+  /// True iff the last normalize() changed its input, i.e. the script was
+  /// proven equivalent to an earlier-canonical schedule.
+  bool lastCollapsed() const { return lastCollapsed_; }
+
+  const PorSpec& spec() const { return spec_; }
+
+ private:
+  RoundConfig cfg_;
+  PorSpec spec_;
+  FailureScript out_;
+  bool lastCollapsed_ = false;
+  std::vector<Round> crashRound_;  ///< per process, post-clamp; kNoRound alive
+};
+
+}  // namespace ssvsp::indep

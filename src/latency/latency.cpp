@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <utility>
 #include <vector>
 
 #include "explore/parallel_sweep.hpp"
 #include "explore/reduction.hpp"
+#include "indep/independence.hpp"
 #include "lint/lint.hpp"
 #include "obs/obs.hpp"
 #include "obs/progress.hpp"
@@ -194,10 +196,18 @@ LatencyOptions canonicalLatencyOptions(const AlgorithmEntry& entry,
     options.enumeration.maxScripts = 200000;
   }
   // Behaviour-preserving accelerator: profiles are bit-identical with
-  // reduction on (the orbit-equivalence tests pin this), it only cuts the
-  // number of engine executions.
-  options.reduction = Reduction::kSymmetry;
+  // reduction on (the orbit-equivalence and POR-equality tests pin this),
+  // it only cuts the number of engine executions.  symmetry_por composes
+  // the footprint-derived independence collapse on top of the orbit memo.
+  options.reduction = Reduction::kSymmetryPor;
   options.symmetryFixedIds = entry.symmetryFixedIds;
+  options.decisionFixRound = indep::resolveDecisionFixRound(entry, cfg);
+  options.porReadsAllSenders = entry.footprint.readsAllSenders;
+  options.porReadIdsMask = indep::readIdsMaskFor(entry.footprint, cfg.n);
+  // SSVSP_CHECK turns the L501 replay tripwire on for every canonical
+  // sweep — the belt the CI por-equality leg wears over the bit-identity
+  // braces.
+  options.porReplayEvery = indep::replayEveryFromEnv();
   return options;
 }
 
@@ -241,15 +251,18 @@ LatencyProfile measureLatency(const RoundAutomatonFactory& factory,
   // One execution arena per worker, exactly like modelCheckConsensus.
   std::unique_ptr<SymmetryGroup> group;
   std::unique_ptr<RunMemo> memo;
-  if (options.reduction == Reduction::kSymmetry) {
+  std::optional<indep::PorSpec> por;
+  if (options.reduction != Reduction::kNone) {
     group = std::make_unique<SymmetryGroup>(cfg.n, options.symmetryFixedIds);
     memo = std::make_unique<RunMemo>();
+    if (options.reduction == Reduction::kSymmetryPor)
+      por = porSpecFromExplore(options);
   }
   std::vector<std::unique_ptr<RunExecutor>> arenas;
   for (int w = 0; w < resolveThreads(options.threads); ++w)
     arenas.push_back(std::make_unique<RunExecutor>(
         cfg, model, factory, ctx.configs, ctx.engineOpt, group.get(),
-        memo.get()));
+        memo.get(), por.has_value() ? &*por : nullptr));
 
   obs::ProgressMeter::Options progressOpt;
   progressOpt.intervalSec = options.progressIntervalSec >= 0

@@ -8,6 +8,9 @@
 //   L2xx  explore specs    (sweep descriptions: bounds, domains, cost)
 //   L3xx  scenario files   (text format: syntax, registry, consistency)
 //   L4xx  round automata   (derived decision/message bounds, src/analysis)
+//   L5xx  independence/POR (observational footprints, src/indep: L50x are
+//         runtime tripwires raised when a static independence claim is
+//         invalidated by an executed run; L51x lint footprint declarations)
 //
 // The full table — code, default severity, one-line summary — is
 // diagCodeTable(); DESIGN.md section 8 documents the mapping to the paper.
@@ -73,6 +76,13 @@ inline constexpr std::string_view kDiagDecideBelowQuorum = "L401";
 inline constexpr std::string_view kDiagDeadEstimateRounds = "L402";
 inline constexpr std::string_view kDiagMessageAfterDecision = "L403";
 inline constexpr std::string_view kDiagPendingBoundExceeded = "L404";
+
+// --- L5xx: independence analysis / POR (src/indep) ------------------------
+inline constexpr std::string_view kDiagPorDecisionPastFix = "L500";
+inline constexpr std::string_view kDiagPorReplayMismatch = "L501";
+inline constexpr std::string_view kDiagFootprintIdOutOfRange = "L510";
+inline constexpr std::string_view kDiagFootprintWriteNotRead = "L511";
+inline constexpr std::string_view kDiagFootprintMissing = "L512";
 
 struct DiagCodeInfo {
   std::string_view code;
@@ -172,6 +182,20 @@ inline const std::vector<DiagCodeInfo>& diagCodeTable() {
        "after quiescence of the decision)"},
       {kDiagPendingBoundExceeded, Severity::kError,
        "RWS in-flight pending messages exceed the 2*f*(n-1) model bound"},
+
+      {kDiagPorDecisionPastFix, Severity::kError,
+       "an executed run decided after the declared decision-fix round: the "
+       "footprint's decisionFixBy bound is wrong (POR tripwire)"},
+      {kDiagPorReplayMismatch, Severity::kError,
+       "a replayed POR-pruned schedule produced a different run summary than "
+       "its class representative (POR tripwire)"},
+      {kDiagFootprintIdOutOfRange, Severity::kError,
+       "observational footprint names a process id outside [0, n)"},
+      {kDiagFootprintWriteNotRead, Severity::kError,
+       "footprint write-set not covered by its read-set closure"},
+      {kDiagFootprintMissing, Severity::kWarning,
+       "no observational footprint declared: POR falls back to treating "
+       "every scheduler choice as all-dependent (structural rules only)"},
   };
   return kTable;
 }

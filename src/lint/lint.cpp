@@ -394,6 +394,18 @@ bool parseSweepSpecText(const std::string& text, RoundConfig* cfg,
           spec->enumeration.pendingLags.push_back(std::stoi(lag));
       } else if (key == "maxScripts") {
         spec->enumeration.maxScripts = std::stoll(value);
+      } else if (key == "reduction") {
+        if (value == "none") {
+          spec->reduction = Reduction::kNone;
+        } else if (value == "symmetry") {
+          spec->reduction = Reduction::kSymmetry;
+        } else if (value == "symmetry_por") {
+          spec->reduction = Reduction::kSymmetryPor;
+        } else {
+          *problem = "unknown reduction '" + value +
+                     "' (want none, symmetry or symmetry_por)";
+          return false;
+        }
       } else if (key == "domain") {
         spec->valueDomain = std::stoi(value);
       } else if (key == "threads") {

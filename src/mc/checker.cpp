@@ -356,7 +356,8 @@ McReport modelCheckConsensus(const RoundAutomatonFactory& factory,
   std::unique_ptr<SymmetryGroup> group;
   std::unique_ptr<RunMemo> ownedMemo;
   RunMemo* memo = nullptr;
-  if (options.reduction == Reduction::kSymmetry) {
+  std::optional<indep::PorSpec> por;
+  if (options.reduction != Reduction::kNone) {
     group = std::make_unique<SymmetryGroup>(cfg.n, options.symmetryFixedIds);
     if (options.memo != nullptr) {
       memo = options.memo;  // external (persistent) memo, e.g. a MemoStore
@@ -364,12 +365,14 @@ McReport modelCheckConsensus(const RoundAutomatonFactory& factory,
       ownedMemo = std::make_unique<RunMemo>();
       memo = ownedMemo.get();
     }
+    if (options.reduction == Reduction::kSymmetryPor)
+      por = porSpecFromExplore(options);
   }
   std::vector<std::unique_ptr<RunExecutor>> arenas;
   for (int w = 0; w < resolveThreads(options.threads); ++w)
     arenas.push_back(std::make_unique<RunExecutor>(
-        cfg, model, factory, ctx.configs, ctx.engineOpt, group.get(),
-        memo));
+        cfg, model, factory, ctx.configs, ctx.engineOpt, group.get(), memo,
+        por.has_value() ? &*por : nullptr));
 
   const ScriptStream stream =
       [&](const std::function<bool(const FailureScript&)>& fn) {

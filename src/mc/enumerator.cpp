@@ -197,25 +197,37 @@ struct Walker {
   }
 };
 
+/// The one traversal behind forEachScript AND countScripts: both walk the
+/// identical structurally-pruned stream (unobservable pending slots and
+/// self-mask bits are never enumerated — see pendingSlots/assignMasks), so
+/// countScripts == scripts visited by definition, under every reduction
+/// mode.  Reduction (symmetry, symmetry_por) deliberately lives BELOW this
+/// layer, in the executor's memo: it collapses engine executions, never the
+/// stream, which is what keeps reports and script indices bit-identical
+/// across modes (tests/test_reduction.cpp pins the equality per mode).
+std::int64_t walkScripts(const RoundConfig& cfg, RoundModel model,
+                         const EnumOptions& options,
+                         const std::function<bool(const FailureScript&)>* fn) {
+  Walker w{cfg, model, options, fn};
+  std::vector<ProcessId> set;
+  w.chooseSet(set, 0);
+  return w.visited;
+}
+
 }  // namespace
 
 std::int64_t forEachScript(
     const RoundConfig& cfg, RoundModel model, const EnumOptions& options,
     const std::function<bool(const FailureScript&)>& fn) {
   OBS_SPAN("enum.scripts");
-  Walker w{cfg, model, options, &fn};
-  std::vector<ProcessId> set;
-  w.chooseSet(set, 0);
-  OBS_COUNTER_ADD("enum.scripts", w.visited);
-  return w.visited;
+  const std::int64_t visited = walkScripts(cfg, model, options, &fn);
+  OBS_COUNTER_ADD("enum.scripts", visited);
+  return visited;
 }
 
 std::int64_t countScripts(const RoundConfig& cfg, RoundModel model,
                           const EnumOptions& options) {
-  Walker w{cfg, model, options, nullptr};
-  std::vector<ProcessId> set;
-  w.chooseSet(set, 0);
-  return w.visited;
+  return walkScripts(cfg, model, options, nullptr);
 }
 
 std::vector<std::vector<Value>> allInitialConfigs(int n, int domain) {

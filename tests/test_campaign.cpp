@@ -313,6 +313,93 @@ TEST_F(CampaignTest, QueryAdmissionControl) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST_F(CampaignTest, SymmetryPorCampaignMatchesUnreducedSweepBitForBit) {
+  // A campaign swept under symmetry_por (footprint resolved ONCE into the
+  // manifest) must merge to the same report as the unreduced single-process
+  // in-memory sweep — the campaign edition of the POR acceptance contract.
+  CampaignSpec spec;
+  spec.algorithm = "EarlyFloodSetWS";
+  spec.n = 3;
+  spec.t = 1;
+  spec.shardScripts = 10;
+  spec.reduction = Reduction::kSymmetryPor;
+  CampaignOptions options;
+  options.dir = dir_;
+  options.workers = 0;
+  const CampaignResult fromCampaign = runCampaign(spec, options);
+  ASSERT_TRUE(fromCampaign.ok) << fromCampaign.error;
+
+  std::string error;
+  const auto manifest = campaignStatus(dir_, &error);
+  ASSERT_TRUE(manifest.has_value()) << error;
+  EXPECT_EQ(manifest->reduction, Reduction::kSymmetryPor);
+  // The flood footprint resolved at campaign creation: D = t + 1.
+  EXPECT_EQ(manifest->decisionFixRound, spec.t + 1);
+
+  McCheckOptions whole = manifest->shardOptions(0);
+  whole.shard = ShardRange{};
+  whole.reduction = Reduction::kNone;
+  const McReport inMemory = modelCheckConsensus(
+      algorithmByName(spec.algorithm).factory, RoundConfig{spec.n, spec.t},
+      manifest->model, whole);
+  EXPECT_EQ(fromCampaign.report.toJsonString(), inMemory.toJsonString());
+
+  // The manifest string survives a serde round trip with the POR fields.
+  const auto reparsed =
+      CampaignManifest::fromJsonString(manifest->toJsonString(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(reparsed->toJsonString(), manifest->toJsonString());
+  EXPECT_EQ(reparsed->reduction, Reduction::kSymmetryPor);
+
+  // Resuming with a different reduction is a spec mismatch, not a silent
+  // remix of two pruning disciplines over one memo.
+  CampaignSpec other = spec;
+  other.reduction = Reduction::kSymmetry;
+  const CampaignResult mixed = runCampaign(other, options);
+  EXPECT_FALSE(mixed.ok);
+  EXPECT_NE(mixed.error.find("different spec"), std::string::npos)
+      << mixed.error;
+}
+
+TEST_F(CampaignTest, PrePorManifestParsesWithLegacyReductionBool) {
+  // Manifests written before the "reduction" string key carried only the
+  // legacy "symmetry_reduction" bool — they must still load, mapping to
+  // kSymmetry with every POR field at its default.
+  CampaignSpec spec;
+  spec.algorithm = "FloodSet";
+  spec.n = 3;
+  spec.t = 1;
+  spec.shardScripts = 10;
+  CampaignOptions options;
+  options.dir = dir_;
+  options.workers = 0;
+  ASSERT_TRUE(runCampaign(spec, options).ok);
+
+  std::string error;
+  const auto manifest = campaignStatus(dir_, &error);
+  ASSERT_TRUE(manifest.has_value()) << error;
+  std::string text = manifest->toJsonString();
+  // Strip the modern keys to simulate a pre-POR writer.
+  for (const char* key : {"\"reduction\"", "\"decision_fix_round\"",
+                          "\"por_replay_every\"", "\"por_reads_all_senders\"",
+                          "\"por_read_ids_mask\""}) {
+    const std::size_t at = text.find(key);
+    ASSERT_NE(at, std::string::npos) << key;
+    const std::size_t end = text.find('\n', at);
+    ASSERT_NE(end, std::string::npos) << key;
+    std::size_t begin = text.rfind('\n', at);
+    ASSERT_NE(begin, std::string::npos) << key;
+    text.erase(begin, end - begin);
+  }
+  const auto legacy = CampaignManifest::fromJsonString(text, &error);
+  ASSERT_TRUE(legacy.has_value()) << error;
+  EXPECT_EQ(legacy->reduction, Reduction::kSymmetry);
+  EXPECT_EQ(legacy->decisionFixRound, kNoRound);
+  EXPECT_EQ(legacy->porReplayEvery, 0);
+  EXPECT_TRUE(legacy->porReadsAllSenders);
+  EXPECT_EQ(legacy->porReadIdsMask, 0u);
+}
+
 TEST_F(CampaignTest, RunShardMergeShardsContract) {
   CampaignSpec spec;
   spec.algorithm = "FloodSet";

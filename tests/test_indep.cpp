@@ -1,0 +1,423 @@
+// Tests for the static independence analysis (src/indep): footprint lint
+// (L510-L512), decision-fix resolution, the ScriptNormalizer's normal form
+// and its load-bearing CLASS INVARIANCE property — scripts that normalize
+// to the same representative must produce identical run summaries, checked
+// here by brute force against real executions — and both dynamic tripwires
+// (L500 decision-past-fix, L501 replay mismatch) firing on deliberately
+// wrong footprints.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "consensus/registry.hpp"
+#include "explore/reduction.hpp"
+#include "indep/independence.hpp"
+#include "indep/normalizer.hpp"
+#include "lint/codes.hpp"
+#include "lint/diagnostic.hpp"
+#include "mc/enumerator.hpp"
+#include "rounds/engine.hpp"
+#include "rounds/spec.hpp"
+
+namespace ssvsp {
+namespace {
+
+RoundConfig cfgOf(int n, int t) {
+  RoundConfig c;
+  c.n = n;
+  c.t = t;
+  return c;
+}
+
+// ------------------------------- lint ------------------------------------
+
+AlgorithmEntry entryWithFootprint(ObservationalFootprint fp) {
+  AlgorithmEntry entry = algorithmByName("FloodSet");
+  entry.footprint = std::move(fp);
+  return entry;
+}
+
+TEST(FootprintLint, RegistryFootprintsAreCleanAtSweptSizes) {
+  for (const AlgorithmEntry& entry : algorithmRegistry()) {
+    for (int n : {3, 4, 6}) {
+      DiagnosticSink sink;
+      EXPECT_TRUE(indep::lintFootprint(entry, n, sink))
+          << entry.name << " n=" << n << "\n"
+          << renderText(sink.diagnostics());
+      EXPECT_FALSE(sink.hasErrors()) << entry.name;
+    }
+  }
+}
+
+TEST(FootprintLint, UndeclaredFootprintWarnsL512ButPasses) {
+  DiagnosticSink sink;
+  EXPECT_TRUE(
+      indep::lintFootprint(entryWithFootprint(ObservationalFootprint{}), 3,
+                           sink));
+  ASSERT_EQ(sink.diagnostics().size(), 1u);
+  EXPECT_EQ(sink.diagnostics()[0].code, kDiagFootprintMissing);
+  EXPECT_EQ(sink.diagnostics()[0].severity, Severity::kWarning);
+}
+
+TEST(FootprintLint, ReadIdOutsideSystemIsL510) {
+  ObservationalFootprint fp;
+  fp.declared = true;
+  fp.readIds = {0, 5};
+  DiagnosticSink sink;
+  EXPECT_FALSE(indep::lintFootprint(entryWithFootprint(fp), 3, sink));
+  ASSERT_EQ(sink.diagnostics().size(), 1u);
+  EXPECT_EQ(sink.diagnostics()[0].code, kDiagFootprintIdOutOfRange);
+}
+
+TEST(FootprintLint, WriteOutsideReadClosureIsL511) {
+  ObservationalFootprint fp;
+  fp.declared = true;
+  fp.readsAllSenders = false;
+  fp.readIds = {0};
+  fp.writeIds = {2};
+  DiagnosticSink sink;
+  EXPECT_FALSE(indep::lintFootprint(entryWithFootprint(fp), 3, sink));
+  ASSERT_EQ(sink.diagnostics().size(), 1u);
+  EXPECT_EQ(sink.diagnostics()[0].code, kDiagFootprintWriteNotRead);
+
+  // Covered by readsAllSenders: the same write-set lints clean.
+  fp.readsAllSenders = true;
+  DiagnosticSink clean;
+  EXPECT_TRUE(indep::lintFootprint(entryWithFootprint(fp), 3, clean));
+}
+
+// ------------------------ decision-fix resolution ------------------------
+
+TEST(ResolveDecisionFix, FloodFamilyResolvesToTPlusOne) {
+  EXPECT_EQ(indep::resolveDecisionFixRound(algorithmByName("FloodSet"),
+                                           cfgOf(3, 2)),
+            3);
+  EXPECT_EQ(indep::resolveDecisionFixRound(algorithmByName("FloodSetWS"),
+                                           cfgOf(4, 1)),
+            2);
+}
+
+TEST(ResolveDecisionFix, A1FamilyDeclaresNoBound) {
+  EXPECT_EQ(indep::resolveDecisionFixRound(algorithmByName("A1"), cfgOf(3, 1)),
+            kNoRound);
+  EXPECT_EQ(indep::resolveDecisionFixRound(algorithmByName("A1WS_candidate"),
+                                           cfgOf(3, 1)),
+            kNoRound);
+}
+
+TEST(ResolveDecisionFix, MalformedDeclarationNeverLicensesPruning) {
+  ObservationalFootprint fp = floodFootprint();
+  fp.readIds = {9};  // L510 at n = 3
+  DiagnosticSink sink;
+  EXPECT_EQ(indep::resolveDecisionFixRound(entryWithFootprint(fp), cfgOf(3, 1),
+                                           &sink),
+            kNoRound);
+  EXPECT_TRUE(sink.hasErrors());
+}
+
+TEST(ReadIdsMask, ClipsToSystemAndGatesOnDeclaration) {
+  ObservationalFootprint fp;
+  fp.declared = true;
+  fp.readsAllSenders = false;
+  fp.readIds = {0, 5};  // p5 clipped at n = 3
+  EXPECT_EQ(indep::readIdsMaskFor(fp, 3), 0b1u);
+  EXPECT_EQ(indep::readIdsMaskFor(fp, 6), 0b100001u);
+  // readsAllSenders footprints expose no distinguished mask — A1's readIds
+  // are the DISTINGUISHED ids on top of the anonymous all-senders closure,
+  // not a restriction of it.
+  EXPECT_EQ(indep::readIdsMaskFor(algorithmByName("A1").footprint, 3), 0u);
+  EXPECT_EQ(indep::readIdsMaskFor(algorithmByName("FloodSet").footprint, 3),
+            0u);
+  EXPECT_EQ(indep::readIdsMaskFor(ObservationalFootprint{}, 3), 0u);
+}
+
+TEST(ReplayEveryFromEnv, ParsesTheTripwireKnob) {
+  const char* saved = std::getenv("SSVSP_CHECK");
+  const std::string savedValue = saved != nullptr ? saved : "";
+
+  ::unsetenv("SSVSP_CHECK");
+  EXPECT_EQ(indep::replayEveryFromEnv(), 0);
+  ::setenv("SSVSP_CHECK", "", 1);
+  EXPECT_EQ(indep::replayEveryFromEnv(), 0);
+  ::setenv("SSVSP_CHECK", "0", 1);
+  EXPECT_EQ(indep::replayEveryFromEnv(), 0);
+  ::setenv("SSVSP_CHECK", "7", 1);
+  EXPECT_EQ(indep::replayEveryFromEnv(), 7);
+  ::setenv("SSVSP_CHECK", "1", 1);
+  EXPECT_EQ(indep::replayEveryFromEnv(), 1);
+  ::setenv("SSVSP_CHECK", "on", 1);
+  EXPECT_EQ(indep::replayEveryFromEnv(), 1);
+  ::setenv("SSVSP_CHECK", "-3", 1);
+  EXPECT_EQ(indep::replayEveryFromEnv(), 0);
+
+  if (saved != nullptr)
+    ::setenv("SSVSP_CHECK", savedValue.c_str(), 1);
+  else
+    ::unsetenv("SSVSP_CHECK");
+}
+
+// --------------------------- the normal form -----------------------------
+
+FailureScript oneCrash(ProcessId p, Round r, ProcessSet sendTo) {
+  FailureScript s;
+  s.crashes.push_back({p, r, sendTo});
+  return s;
+}
+
+indep::PorSpec floodSpec(Round fixD, Round engineHorizon) {
+  indep::PorSpec spec;
+  spec.decisionFixRound = fixD;
+  spec.engineHorizon = engineHorizon;
+  return spec;
+}
+
+TEST(ScriptNormalizer, ObservableScriptsPassThroughUnchanged) {
+  indep::ScriptNormalizer norm(cfgOf(3, 1), floodSpec(2, 4));
+  const FailureScript s = oneCrash(1, 2, ProcessSet{0, 2});
+  const FailureScript out = norm.normalize(s);
+  EXPECT_EQ(out.toString(), s.toString());
+  EXPECT_FALSE(norm.lastCollapsed());
+}
+
+TEST(ScriptNormalizer, CrashRoundsAboveFixPlusOneClampToOneRepresentative) {
+  indep::ScriptNormalizer norm(cfgOf(3, 1), floodSpec(2, 6));
+  const FailureScript a = norm.normalize(oneCrash(1, 4, ProcessSet{0, 2}));
+  const std::string aText = a.toString();
+  EXPECT_TRUE(norm.lastCollapsed());
+  ASSERT_EQ(a.crashes.size(), 1u);
+  EXPECT_EQ(a.crashes[0].round, 3);  // D + 1
+  EXPECT_EQ(a.crashes[0].sendTo.mask(), 0u);  // round-3 sends land past D
+
+  // A different late round and a different doomed mask: same class.
+  EXPECT_EQ(norm.normalize(oneCrash(1, 5, ProcessSet{2})).toString(), aText);
+  EXPECT_TRUE(norm.lastCollapsed());
+}
+
+TEST(ScriptNormalizer, NeverSurfacingPendingEqualsUnsetMaskBit) {
+  // S4: "sent but never surfaces" and "not sent" are engine-identical.
+  indep::ScriptNormalizer norm(cfgOf(3, 1), floodSpec(kNoRound, 4));
+  FailureScript sent = oneCrash(1, 1, ProcessSet{0});
+  sent.pendings.push_back({1, 0, 1, kNoRound});
+  const std::string sentText = norm.normalize(sent).toString();
+  EXPECT_TRUE(norm.lastCollapsed());
+
+  const FailureScript unsent = oneCrash(1, 1, ProcessSet());
+  EXPECT_EQ(norm.normalize(unsent).toString(), sentText);
+}
+
+TEST(ScriptNormalizer, ArrivalPastEngineHorizonIsNever) {
+  indep::ScriptNormalizer norm(cfgOf(3, 1), floodSpec(kNoRound, 3));
+  FailureScript late = oneCrash(1, 1, ProcessSet{0});
+  late.pendings.push_back({1, 0, 1, 4});  // past the horizon: never delivers
+  const FailureScript unsent = oneCrash(1, 1, ProcessSet());
+  const std::string unsentText = norm.normalize(unsent).toString();
+  EXPECT_EQ(norm.normalize(late).toString(), unsentText);
+  EXPECT_TRUE(norm.lastCollapsed());
+}
+
+TEST(ScriptNormalizer, FifoTieSlipsTheYoungerMessageOneRound) {
+  // S2: mA (sent 1) and mB (sent 2) both arriving raw at round 3 are
+  // engine-identical to mA at 3 and mB at 4 — the explicit encoding is the
+  // representative.
+  indep::ScriptNormalizer norm(cfgOf(3, 1), floodSpec(kNoRound, 6));
+  FailureScript tied = oneCrash(1, 2, ProcessSet{0});
+  tied.pendings.push_back({1, 0, 1, 3});
+  tied.pendings.push_back({1, 0, 2, 3});
+  const std::string tiedText = norm.normalize(tied).toString();
+  EXPECT_TRUE(norm.lastCollapsed());
+
+  FailureScript explicitForm = oneCrash(1, 2, ProcessSet{0});
+  explicitForm.pendings.push_back({1, 0, 1, 3});
+  explicitForm.pendings.push_back({1, 0, 2, 4});
+  EXPECT_EQ(norm.normalize(explicitForm).toString(), tiedText);
+  EXPECT_FALSE(norm.lastCollapsed());
+}
+
+TEST(ScriptNormalizer, UnreadSenderCollapsesEntirely) {
+  // F2: with the read closure {p0}, every delivery choice of p1 vanishes.
+  indep::PorSpec spec = floodSpec(kNoRound, 4);
+  spec.readsAllSenders = false;
+  spec.readIdsMask = 1;  // p0 only
+  indep::ScriptNormalizer norm(cfgOf(3, 1), spec);
+
+  const std::string repText =
+      norm.normalize(oneCrash(1, 1, ProcessSet())).toString();
+  EXPECT_EQ(norm.normalize(oneCrash(1, 1, ProcessSet{0, 2})).toString(),
+            repText);
+  EXPECT_TRUE(norm.lastCollapsed());
+
+  // ...while the read sender p0's choices survive.
+  const std::string p0Empty =
+      norm.normalize(oneCrash(0, 1, ProcessSet())).toString();
+  EXPECT_NE(norm.normalize(oneCrash(0, 1, ProcessSet{1, 2})).toString(),
+            p0Empty);
+}
+
+TEST(ScriptNormalizer, NormalizeIsIdempotent) {
+  indep::ScriptNormalizer norm(cfgOf(3, 2), floodSpec(3, 5));
+  EnumOptions o;
+  o.horizon = 3;
+  o.maxCrashes = 2;
+  o.pendingLags = {1, 2, 0};
+  o.maxScripts = 400;
+  forEachScript(cfgOf(3, 2), RoundModel::kRws, o,
+                [&](const FailureScript& s) {
+                  const FailureScript once = norm.normalize(s);
+                  const FailureScript twice = norm.normalize(once);
+                  EXPECT_EQ(once.toString(), twice.toString())
+                      << "input " << s.toString();
+                  return true;
+                });
+}
+
+// The load-bearing soundness property, brute-forced: group every script of
+// a small RWS space by its normal form, execute EVERY script fresh, and
+// require identical (latency, consensusOk) summaries within each class for
+// every initial configuration.  EarlyFloodSetWS is the adversarial pick:
+// its summaries genuinely vary with the crash pattern, so a wrong collapse
+// cannot hide behind constant latencies.
+TEST(ScriptNormalizer, ClassesAreSummaryInvariantUnderExecution) {
+  const AlgorithmEntry& entry = algorithmByName("EarlyFloodSetWS");
+  const RoundConfig cfg = cfgOf(3, 2);
+  RoundEngineOptions eo;
+  eo.horizon = cfg.t + 4;
+
+  EnumOptions o;
+  o.horizon = cfg.t + 1;
+  o.maxCrashes = cfg.t;
+  o.pendingLags = {1, 2, 0};
+  o.maxScripts = 900;
+
+  indep::ScriptNormalizer norm(
+      cfg, indep::porSpecFor(entry, cfg, eo.horizon));
+  const auto configs = allInitialConfigs(cfg.n, 2);
+
+  // class representative text -> per-config summaries of the first member.
+  std::map<std::string, std::vector<RunSummary>> classes;
+  std::int64_t scripts = 0;
+  forEachScript(cfg, entry.intendedModel, o, [&](const FailureScript& s) {
+    ++scripts;
+    std::vector<RunSummary> summaries;
+    for (const auto& config : configs) {
+      const RoundRunResult run =
+          runRounds(cfg, entry.intendedModel, entry.factory, config, s, eo);
+      summaries.push_back({run.latency(), checkUniformConsensus(run).ok()});
+    }
+    const std::string rep = norm.normalize(s).toString();
+    auto [it, inserted] = classes.emplace(rep, std::move(summaries));
+    if (!inserted) {
+      for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+        const RoundRunResult run = runRounds(cfg, entry.intendedModel,
+                                             entry.factory, configs[ci], s, eo);
+        EXPECT_EQ(run.latency(), it->second[ci].latency)
+            << s.toString() << " vs class " << rep;
+        EXPECT_EQ(checkUniformConsensus(run).ok(), it->second[ci].consensusOk)
+            << s.toString() << " vs class " << rep;
+      }
+    }
+    return true;
+  });
+  EXPECT_GT(scripts, 100);
+  // The analysis must actually merge something, or the test is vacuous.
+  EXPECT_LT(static_cast<std::int64_t>(classes.size()), scripts);
+}
+
+// ------------------------------ tripwires --------------------------------
+
+TEST(PorTripwire, DecisionAfterDeclaredFixRoundRaisesL500) {
+  // FloodSet at t = 1 decides in round 2; declaring D = 1 is a lie the
+  // executor must catch on the very first executed run.
+  const AlgorithmEntry& entry = algorithmByName("FloodSet");
+  const RoundConfig cfg = cfgOf(3, 1);
+  RoundEngineOptions eo;
+  eo.horizon = cfg.t + 4;
+  const SymmetryGroup group(cfg.n, cfg.n);  // trivial: isolate POR
+  RunMemo memo;
+  const indep::PorSpec por = floodSpec(1, eo.horizon);
+  RunExecutor executor(cfg, entry.intendedModel, entry.factory,
+                       allInitialConfigs(cfg.n, 2), eo, &group, &memo, &por);
+  try {
+    executor.run(FailureScript{}, 0, 0);
+    FAIL() << "L500 tripwire did not fire";
+  } catch (const indep::PorTripwireError& e) {
+    ASSERT_EQ(e.diagnostics().size(), 1u);
+    EXPECT_EQ(e.diagnostics()[0].code, kDiagPorDecisionPastFix);
+  }
+}
+
+TEST(PorTripwire, ReplayMismatchOnWrongReadClosureRaisesL501) {
+  // Deliberately wrong footprint: claim A1WS_candidate never reads p0 —
+  // whose partial-send choices in fact decide between a clean run and a
+  // consensus violation.  The normalizer then collapses "p0 crashes
+  // silently at round 1" (violating) with "p0 broadcasts and crashes"
+  // (clean), and the SSVSP_CHECK-style replay of the pruned schedule must
+  // catch the disagreement.
+  const AlgorithmEntry& entry = algorithmByName("A1WS_candidate");
+  const RoundConfig cfg = cfgOf(3, 1);
+  RoundEngineOptions eo;
+  eo.horizon = cfg.t + 4;
+  const SymmetryGroup group(cfg.n, cfg.n);  // trivial: isolate POR
+  RunMemo memo;
+  indep::PorSpec por = floodSpec(kNoRound, eo.horizon);
+  por.readsAllSenders = false;
+  por.readIdsMask = 1u << 1;  // the lie: "only p1 is read"
+  por.replayEvery = 1;
+  RunExecutor executor(cfg, entry.intendedModel, entry.factory,
+                       allInitialConfigs(cfg.n, 2), eo, &group, &memo, &por);
+
+  EnumOptions o;
+  o.horizon = cfg.t + 1;
+  o.maxCrashes = cfg.t;
+  bool fired = false;
+  std::int64_t index = 0;
+  try {
+    forEachScript(cfg, entry.intendedModel, o, [&](const FailureScript& s) {
+      for (std::size_t ci = 0; ci < executor.configs().size(); ++ci)
+        executor.run(s, index, ci);
+      ++index;
+      return true;
+    });
+  } catch (const indep::PorTripwireError& e) {
+    fired = true;
+    ASSERT_EQ(e.diagnostics().size(), 1u);
+    EXPECT_EQ(e.diagnostics()[0].code, kDiagPorReplayMismatch);
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(PorTripwire, TruthfulFootprintSurvivesFullReplay) {
+  // The complement of the two tests above: with the REGISTRY footprint and
+  // replayEvery = 1, the whole small sweep replays every collapsed hit and
+  // no tripwire fires.
+  const AlgorithmEntry& entry = algorithmByName("EarlyFloodSetWS");
+  const RoundConfig cfg = cfgOf(3, 2);
+  RoundEngineOptions eo;
+  eo.horizon = cfg.t + 4;
+  const SymmetryGroup group(cfg.n, entry.symmetryFixedIds);
+  RunMemo memo;
+  indep::PorSpec por = indep::porSpecFor(entry, cfg, eo.horizon);
+  por.replayEvery = 1;
+  RunExecutor executor(cfg, entry.intendedModel, entry.factory,
+                       allInitialConfigs(cfg.n, 2), eo, &group, &memo, &por);
+
+  EnumOptions o;
+  o.horizon = cfg.t + 1;
+  o.maxCrashes = cfg.t;
+  o.pendingLags = {1, 0};
+  o.maxScripts = 600;
+  std::int64_t index = 0;
+  EXPECT_NO_THROW(forEachScript(
+      cfg, entry.intendedModel, o, [&](const FailureScript& s) {
+        for (std::size_t ci = 0; ci < executor.configs().size(); ++ci)
+          executor.run(s, index, ci);
+        ++index;
+        return true;
+      }));
+  EXPECT_GT(executor.stats().runsFromMemo, 0);
+}
+
+}  // namespace
+}  // namespace ssvsp

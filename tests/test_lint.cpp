@@ -460,6 +460,26 @@ TEST(LintSpecText, ParsesKeysCommentsAndSeparators) {
   EXPECT_EQ(spec.chunkScripts, 32);
 }
 
+TEST(LintSpecText, ParsesReductionModes) {
+  RoundConfig cfg;
+  RoundModel model = RoundModel::kRs;
+  ExploreSpec spec;
+  std::string problem;
+  ASSERT_TRUE(parseSweepSpecText("n=3 t=1 reduction=symmetry_por", &cfg,
+                                 &model, &spec, &problem))
+      << problem;
+  EXPECT_EQ(spec.reduction, Reduction::kSymmetryPor);
+  ASSERT_TRUE(parseSweepSpecText("n=3 t=1 reduction=symmetry", &cfg, &model,
+                                 &spec, &problem));
+  EXPECT_EQ(spec.reduction, Reduction::kSymmetry);
+  ASSERT_TRUE(parseSweepSpecText("n=3 t=1 reduction=none", &cfg, &model,
+                                 &spec, &problem));
+  EXPECT_EQ(spec.reduction, Reduction::kNone);
+  EXPECT_FALSE(parseSweepSpecText("n=3 t=1 reduction=dpor", &cfg, &model,
+                                  &spec, &problem));
+  EXPECT_NE(problem.find("reduction"), std::string::npos) << problem;
+}
+
 TEST(LintSpecText, RejectsMissingConfigAndBadTokens) {
   RoundConfig cfg;
   RoundModel model = RoundModel::kRs;

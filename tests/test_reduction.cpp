@@ -15,6 +15,7 @@
 
 #include "consensus/registry.hpp"
 #include "explore/reduction.hpp"
+#include "indep/independence.hpp"
 #include "latency/latency.hpp"
 #include "mc/checker.hpp"
 #include "mc/enumerator.hpp"
@@ -433,6 +434,220 @@ TEST(OrbitEquivalence, McReportIsBitIdenticalAcrossThreads) {
   const McReport parallel =
       modelCheckConsensus(entry.factory, cfg, entry.intendedModel, reduced);
   expectSameReport(reference, parallel, "FloodSetWS threads=2");
+}
+
+/// `options` upgraded to symmetry_por with the entry's footprint resolved —
+/// the exact wiring canonicalLatencyOptions and the campaign layer use.
+McCheckOptions withPor(const AlgorithmEntry& entry, const RoundConfig& cfg,
+                       McCheckOptions options, int replayEvery = 0) {
+  options.reduction = Reduction::kSymmetryPor;
+  options.symmetryFixedIds = entry.symmetryFixedIds;
+  options.decisionFixRound = indep::resolveDecisionFixRound(entry, cfg);
+  options.porReadsAllSenders = entry.footprint.readsAllSenders;
+  options.porReadIdsMask = indep::readIdsMaskFor(entry.footprint, cfg.n);
+  options.porReplayEvery = replayEvery;
+  return options;
+}
+
+// The POR acceptance contract: symmetry_por must be bit-identical to the
+// UNREDUCED sweep on every registered algorithm, with the replay tripwire
+// armed so every collapsed memo hit is re-executed and compared (a wrong
+// independence rule fails this test twice over — differing reports or a
+// thrown PorTripwireError).
+TEST(OrbitEquivalence, McReportIsBitIdenticalUnderPorForEveryAlgorithm) {
+  for (const AlgorithmEntry& entry : algorithmRegistry()) {
+    const RoundConfig cfg = entry.requiresTLe1 ? cfgOf(3, 1) : cfgOf(3, 2);
+    const McCheckOptions unreduced = checkOptionsFor(entry, cfg);
+    McCheckOptions por = withPor(entry, cfg, unreduced, /*replayEvery=*/1);
+    SweepRunStats porStats;
+    por.runStats = &porStats;
+
+    const McReport a = modelCheckConsensus(entry.factory, cfg,
+                                           entry.intendedModel, unreduced);
+    const McReport b = modelCheckConsensus(entry.factory, cfg,
+                                           entry.intendedModel, por);
+    expectSameReport(a, b, entry.name + " por");
+    EXPECT_EQ(a.toJsonString(), b.toJsonString()) << entry.name;
+    // Every entry with a pruning lever must actually dedup.  A1 (RS, no
+    // declared decision-fix bound, near-trivial orbit group) is the one
+    // registry entry with nothing to collapse on this space.
+    const bool hasLever =
+        por.decisionFixRound != kNoRound ||
+        entry.intendedModel == RoundModel::kRws ||
+        entry.symmetryFixedIds < cfg.n - 1;
+    if (hasLever) EXPECT_GT(porStats.runsFromMemo, 0) << entry.name;
+  }
+}
+
+TEST(OrbitEquivalence, PorExecutesNoMoreRunsThanSymmetry) {
+  for (const AlgorithmEntry& entry : algorithmRegistry()) {
+    const RoundConfig cfg = entry.requiresTLe1 ? cfgOf(3, 1) : cfgOf(3, 2);
+    McCheckOptions sym = checkOptionsFor(entry, cfg);
+    sym.reduction = Reduction::kSymmetry;
+    sym.symmetryFixedIds = entry.symmetryFixedIds;
+    SweepRunStats symStats;
+    sym.runStats = &symStats;
+    McCheckOptions por = withPor(entry, cfg, checkOptionsFor(entry, cfg));
+    SweepRunStats porStats;
+    por.runStats = &porStats;
+
+    modelCheckConsensus(entry.factory, cfg, entry.intendedModel, sym);
+    modelCheckConsensus(entry.factory, cfg, entry.intendedModel, por);
+    EXPECT_LE(porStats.runsExecuted + porStats.runsReusedInEngine,
+              symStats.runsExecuted + symStats.runsReusedInEngine)
+        << entry.name;
+  }
+}
+
+TEST(OrbitEquivalence, McReportIsBitIdenticalUnderPorAcrossThreads) {
+  const AlgorithmEntry& entry = algorithmByName("FloodSetWS");
+  const RoundConfig cfg = cfgOf(4, 2);
+  McCheckOptions base = checkOptionsFor(entry, cfg);
+  base.enumeration.maxScripts = 4000;
+  const McReport reference =
+      modelCheckConsensus(entry.factory, cfg, entry.intendedModel, base);
+
+  McCheckOptions por = withPor(entry, cfg, base);
+  por.threads = 2;
+  const McReport parallel =
+      modelCheckConsensus(entry.factory, cfg, entry.intendedModel, por);
+  expectSameReport(reference, parallel, "FloodSetWS por threads=2");
+}
+
+TEST(OrbitEquivalence, LatencyProfileIsBitIdenticalUnderPor) {
+  for (const AlgorithmEntry& entry : algorithmRegistry()) {
+    const RoundConfig cfg = entry.requiresTLe1 ? cfgOf(3, 1) : cfgOf(3, 2);
+    // canonicalLatencyOptions already resolves the footprint into a
+    // symmetry_por spec — the production default this test certifies.
+    LatencyOptions por = canonicalLatencyOptions(entry, cfg);
+    ASSERT_EQ(por.reduction, Reduction::kSymmetryPor) << entry.name;
+    por.porReplayEvery = 1;
+    por.enumeration.maxScripts =
+        entry.intendedModel == RoundModel::kRws ? 1500 : -1;
+    LatencyOptions unreduced = por;
+    unreduced.reduction = Reduction::kNone;
+
+    const LatencyProfile a = measureLatency(entry.factory, cfg,
+                                            entry.intendedModel, unreduced);
+    const LatencyProfile b = measureLatency(entry.factory, cfg,
+                                            entry.intendedModel, por);
+    EXPECT_EQ(a.toString(), b.toString()) << entry.name;
+    EXPECT_EQ(a.latByMaxCrashes, b.latByMaxCrashes) << entry.name;
+  }
+}
+
+// --------------- stream invariance across reduction modes ----------------
+
+// Satellite contract: countScripts, forEachScript and a reduced sweep's
+// scriptsVisited all agree under EVERY reduction mode — reductions collapse
+// engine work, never the enumerated stream.
+TEST(StreamInvariance, CountsVisitsAndReportsAgreeUnderEveryMode) {
+  for (const char* name : {"FloodSet", "EarlyFloodSetWS"}) {
+    const AlgorithmEntry& entry = algorithmByName(name);
+    const RoundConfig cfg = cfgOf(3, 2);
+    const McCheckOptions base = checkOptionsFor(entry, cfg);
+
+    const std::int64_t counted =
+        countScripts(cfg, entry.intendedModel, base.enumeration);
+    std::int64_t walked = 0;
+    forEachScript(cfg, entry.intendedModel, base.enumeration,
+                  [&](const FailureScript&) {
+                    ++walked;
+                    return true;
+                  });
+    EXPECT_EQ(counted, walked) << name;
+
+    for (Reduction mode : {Reduction::kNone, Reduction::kSymmetry,
+                           Reduction::kSymmetryPor}) {
+      McCheckOptions o = mode == Reduction::kSymmetryPor
+                             ? withPor(entry, cfg, base)
+                             : base;
+      o.reduction = mode;
+      if (mode != Reduction::kNone)
+        o.symmetryFixedIds = entry.symmetryFixedIds;
+      const McReport report =
+          modelCheckConsensus(entry.factory, cfg, entry.intendedModel, o);
+      EXPECT_EQ(report.scriptsVisited, counted)
+          << name << " mode " << std::string(toString(mode));
+    }
+  }
+}
+
+// ------------------------- enumeration edge cases ------------------------
+
+std::int64_t countOf(int n, int t, RoundModel model, int horizon,
+                     int maxCrashes, std::vector<int> lags) {
+  EnumOptions o;
+  o.horizon = horizon;
+  o.maxCrashes = maxCrashes;
+  o.pendingLags = std::move(lags);
+  return countScripts(cfgOf(n, t), model, o);
+}
+
+// Golden script-space sizes for the edge cases the POR rules quotient:
+// lag-0-only menus (every pending never surfaces), multi-crash spaces where
+// pendings toward crashed receivers are skipped, and the degenerate
+// maxCrashes = 0 sweep.  These pin the ENUMERATED stream — any reduction
+// mode must report exactly these scriptsVisited counts.
+TEST(EnumerationEdgeCases, GoldenScriptCounts) {
+  // RS baselines: crashes x rounds x send-subsets only.
+  EXPECT_EQ(countOf(3, 2, RoundModel::kRs, 3, 0, {}), 1);
+  EXPECT_EQ(countOf(3, 2, RoundModel::kRs, 3, 1, {}), 37);
+  EXPECT_EQ(countOf(3, 2, RoundModel::kRs, 3, 2, {}), 469);
+
+  // RWS, never-surfacing-only menu: every sent message of a dying sender
+  // may independently go "pending forever".
+  EXPECT_EQ(countOf(3, 2, RoundModel::kRws, 3, 1, {0}), 244);
+  // Adding a surfacing lag grows the per-message menu by one arrival.
+  EXPECT_EQ(countOf(3, 2, RoundModel::kRws, 3, 1, {1, 0}), 913);
+  // Two crashers: pendings toward a receiver that is crashed on arrival
+  // are skipped (their delivery is unobservable), so the space grows far
+  // slower than the single-crash menu squared.
+  EXPECT_EQ(countOf(3, 2, RoundModel::kRws, 3, 2, {1, 0}), 57553);
+
+  // maxCrashes = 0 degenerates to the single failure-free script in both
+  // models, lag menu or not.
+  EXPECT_EQ(countOf(3, 2, RoundModel::kRws, 3, 0, {1, 2, 0}), 1);
+  EXPECT_EQ(countOf(4, 2, RoundModel::kRws, 4, 0, {1, 0}), 1);
+}
+
+TEST(EnumerationEdgeCases, DegenerateSweepsAgreeAcrossModes) {
+  // maxCrashes = 0: one script, every mode, bit-identical reports.
+  const AlgorithmEntry& entry = algorithmByName("FloodSetWS");
+  const RoundConfig cfg = cfgOf(3, 2);
+  McCheckOptions base = checkOptionsFor(entry, cfg);
+  base.enumeration.maxCrashes = 0;
+  const McReport none =
+      modelCheckConsensus(entry.factory, cfg, entry.intendedModel, base);
+  EXPECT_EQ(none.scriptsVisited, 1);
+
+  McCheckOptions por = withPor(entry, cfg, base);
+  const McReport reduced =
+      modelCheckConsensus(entry.factory, cfg, entry.intendedModel, por);
+  expectSameReport(none, reduced, "maxCrashes=0");
+}
+
+TEST(EnumerationEdgeCases, NeverSurfacingMenuCollapsesUnderPurePor) {
+  // pendingLags = {0}: every pending choice is a never-surfacing message,
+  // which S4 proves equivalent to the unset mask bit — so POR alone (over a
+  // TRIVIAL symmetry group) must fold the whole lag menu away and still
+  // reproduce the unreduced report bit for bit.
+  const AlgorithmEntry& entry = algorithmByName("EarlyFloodSetWS");
+  const RoundConfig cfg = cfgOf(3, 2);
+  McCheckOptions base = checkOptionsFor(entry, cfg);
+  base.enumeration.pendingLags = {0};
+  const McReport none =
+      modelCheckConsensus(entry.factory, cfg, entry.intendedModel, base);
+
+  McCheckOptions por = withPor(entry, cfg, base, /*replayEvery=*/1);
+  por.symmetryFixedIds = cfg.n;  // trivial group: POR is the only reducer
+  SweepRunStats stats;
+  por.runStats = &stats;
+  const McReport reduced =
+      modelCheckConsensus(entry.factory, cfg, entry.intendedModel, por);
+  expectSameReport(none, reduced, "lag0-only por");
+  EXPECT_GT(stats.runsFromMemo, 0);
+  EXPECT_LT(stats.runsExecuted, none.runsExecuted);
 }
 
 TEST(OrbitEquivalence, LatencyProfileIsBitIdenticalForEveryAlgorithm) {
